@@ -1,0 +1,141 @@
+"""Ablations of the reproduction's design choices.
+
+Not a paper table -- these benches quantify the knobs DESIGN.md calls
+out, so a reader can see what each choice buys:
+
+* uniform (paper) vs area-weighted (KKT-exact) sensitivity targets;
+* single-inverter vs inverter-pair buffers;
+* the projected-gradient polish after the eq. 4 fixed point;
+* seed (CREF) independence of the Tmin iteration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.buffering.insertion import min_delay_with_buffers
+from repro.protocol.report import format_table
+from repro.sizing.bounds import min_delay_bound
+from repro.sizing.sensitivity import distribute_constraint
+
+from conftest import emit
+
+CIRCUITS = ("c432", "c880", "c1355", "c7552")
+
+
+def test_ablation_weight_mode(benchmark, lib, paths):
+    """Uniform vs area-weighted sensitivity: sum W at Tc = 1.3 Tmin."""
+    rows = []
+    path432 = paths["c432"].path
+    tmin432, _, _, _ = min_delay_bound(path432, lib)
+    benchmark.pedantic(
+        distribute_constraint, args=(path432, lib, 1.3 * tmin432),
+        kwargs={"weight_mode": "area"}, rounds=3, iterations=1,
+    )
+    for name in CIRCUITS:
+        path = paths[name].path
+        tmin, _, _, _ = min_delay_bound(path, lib)
+        tc = 1.3 * tmin
+        uniform = distribute_constraint(path, lib, tc, weight_mode="uniform")
+        weighted = distribute_constraint(path, lib, tc, weight_mode="area")
+        saving = 100.0 * (1.0 - weighted.area_um / uniform.area_um)
+        rows.append(
+            (name, f"{uniform.area_um:.1f}", f"{weighted.area_um:.1f}",
+             f"{saving:.1f}%")
+        )
+        assert uniform.feasible and weighted.feasible
+        # The KKT-exact variant never uses meaningfully more width.
+        assert weighted.area_um <= uniform.area_um * 1.02
+    emit(
+        "Ablation -- sensitivity weighting (uniform = paper, area = KKT)",
+        format_table(("circuit", "uniform sum W", "area-weighted sum W",
+                      "saving"), rows),
+    )
+
+
+def test_ablation_buffer_stages(benchmark, lib, limits, paths):
+    """Single inverters vs polarity-preserving pairs for Tmin gains."""
+    rows = []
+    benchmark.pedantic(
+        min_delay_with_buffers, args=(paths["c432"].path, lib),
+        kwargs={"limits": limits, "buffer_stages": 2}, rounds=1, iterations=1,
+    )
+    for name in CIRCUITS:
+        path = paths[name].path
+        single = min_delay_with_buffers(path, lib, limits=limits,
+                                        buffer_stages=1)
+        pair = min_delay_with_buffers(path, lib, limits=limits,
+                                      buffer_stages=2)
+        rows.append(
+            (
+                name,
+                f"{100.0 * single.gain:.1f}%",
+                f"{100.0 * pair.gain:.1f}%",
+                len(single.inserted_at),
+                len(pair.inserted_at),
+            )
+        )
+        # A pair costs an extra stage, so it usually trails the single
+        # inverter the Flimit metric assumes; greedy multi-round
+        # trajectories can flip that by a hair, hence the soft band.
+        assert pair.gain <= single.gain + 0.02
+    emit(
+        "Ablation -- buffer realisation (1 inverter vs pair)",
+        format_table(
+            ("circuit", "gain x1", "gain x2", "buffers x1", "buffers x2"),
+            rows,
+        ),
+    )
+
+
+def test_ablation_polish(benchmark, lib, paths):
+    """What the exact-gradient polish adds on top of the eq. 4 fixed point."""
+    rows = []
+    benchmark.pedantic(
+        min_delay_bound, args=(paths["c880"].path, lib),
+        kwargs={"polish": False}, rounds=3, iterations=1,
+    )
+    for name in CIRCUITS:
+        path = paths[name].path
+        raw, _, _, iters = min_delay_bound(path, lib, polish=False)
+        polished, _, _, _ = min_delay_bound(path, lib, polish=True)
+        rows.append(
+            (
+                name,
+                f"{raw:.1f}",
+                f"{polished:.1f}",
+                f"{100.0 * (raw / polished - 1.0):.2f}%",
+                iters,
+            )
+        )
+        # The fixed point alone is already within a percent or two: the
+        # neglected Miller derivatives are a second-order correction.
+        assert raw >= polished - 1e-6
+        assert raw <= polished * 1.05
+    emit(
+        "Ablation -- eq. 4 fixed point vs +projected-gradient polish",
+        format_table(
+            ("circuit", "fixed point (ps)", "+polish (ps)", "gap",
+             "eq.4 sweeps"),
+            rows,
+        ),
+    )
+
+
+def test_ablation_seed_independence(benchmark, lib, paths):
+    """The paper's claim: Tmin does not depend on the CREF seed."""
+    path = paths["c1355"].path
+    benchmark.pedantic(
+        min_delay_bound, args=(path, lib),
+        kwargs={"cref_ff": 10.0 * lib.cref}, rounds=3, iterations=1,
+    )
+    rows = []
+    reference, _, _, _ = min_delay_bound(path, lib)
+    for mult in (0.5, 1.0, 4.0, 16.0):
+        tmin, _, _, iters = min_delay_bound(path, lib, cref_ff=mult * lib.cref)
+        rows.append((f"{mult:.1f} x CREF", f"{tmin:.2f}",
+                     f"{1e6 * abs(tmin / reference - 1.0):.1f} ppm", iters))
+        assert tmin == pytest.approx(reference, rel=1e-3)
+    emit(
+        "Ablation -- Tmin seed independence (c1355 path)",
+        format_table(("seed drive", "Tmin (ps)", "deviation", "sweeps"), rows),
+    )

@@ -1,0 +1,100 @@
+"""Extension -- process variation and the safety-margin story.
+
+Not a paper table.  Section 2 of the paper argues that estimation
+uncertainty forces iterative flows into "very large safety margins
+resulting in oversized designs".  This bench makes the margin
+quantitative on our model: the Monte-Carlo delay distribution of a
+protocol-sized path across process corners and wire-load classes, and the
+Tc guard band a yield target implies.
+"""
+
+import pytest
+
+from repro.analysis.variation import (
+    VariationSpec,
+    delay_distribution,
+    required_guard_band,
+)
+from repro.protocol.report import format_table
+from repro.sizing.bounds import min_delay_bound
+from repro.sizing.sensitivity import distribute_constraint
+
+from conftest import emit
+
+CIRCUITS = ("c432", "c1355")
+
+
+def test_ext_guardband(benchmark, lib, paths):
+    path = paths["c432"].path
+    tmin, _, _, _ = min_delay_bound(path, lib)
+    solution = distribute_constraint(path, lib, 1.3 * tmin)
+
+    dist = benchmark.pedantic(
+        delay_distribution,
+        args=(path, solution.sizes, lib),
+        kwargs={"n_samples": 200},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for name in CIRCUITS:
+        p = paths[name].path
+        t, _, _, _ = min_delay_bound(p, lib)
+        sol = distribute_constraint(p, lib, 1.3 * t)
+        d = delay_distribution(p, sol.sizes, lib, n_samples=200)
+        band99 = required_guard_band(p, sol.sizes, lib, target_yield=0.99,
+                                     n_samples=200)
+        rows.append(
+            (
+                name,
+                f"{d.nominal_ps:.0f}",
+                f"{d.mean_ps:.0f}",
+                f"{d.std_ps:.1f}",
+                f"{d.p99_ps:.0f}",
+                f"{band99:.3f}",
+                f"{100.0 * d.yield_at(sol.tc_ps):.0f}%",
+            )
+        )
+    body = format_table(
+        ("circuit", "nominal (ps)", "mean", "sigma", "p99", "99% guard band",
+         "yield at Tc"),
+        rows,
+    )
+    body += (
+        "\n(a flow without the deterministic bounds must multiply its"
+        "\n constraint by the guard band column -- the 'oversized designs'"
+        "\n the paper's introduction attributes to estimation uncertainty)"
+    )
+    emit("Extension -- process-variation guard bands", body)
+
+    assert dist.std_ps > 0
+    assert dist.p01_ps <= dist.p50_ps <= dist.p99_ps
+
+
+def test_ext_wireload_pessimism(benchmark, lib, paths):
+    """Routing estimate classes shift Tmin -- the routing-uncertainty axis."""
+    from repro.iscas.loader import load_benchmark
+    from repro.netlist.wireload import WLM_LARGE, WLM_MEDIUM, WLM_SMALL
+    from repro.timing.sta import analyze
+
+    circuit = load_benchmark("c432")
+    benchmark.pedantic(
+        analyze, args=(circuit, lib), kwargs={"wire_model": WLM_MEDIUM},
+        rounds=3, iterations=1,
+    )
+    rows = []
+    bare = analyze(circuit, lib).critical_delay_ps
+    rows.append(("(no wires)", f"{bare:.0f}", "--"))
+    previous = bare
+    for model in (WLM_SMALL, WLM_MEDIUM, WLM_LARGE):
+        delay = analyze(circuit, lib, wire_model=model).critical_delay_ps
+        rows.append((model.name, f"{delay:.0f}",
+                     f"+{100.0 * (delay / bare - 1.0):.0f}%"))
+        assert delay > previous
+        previous = delay
+    emit(
+        "Extension -- wire-load pessimism on the c432 critical delay",
+        format_table(("wire class", "critical delay (ps)", "vs unrouted"),
+                     rows),
+    )

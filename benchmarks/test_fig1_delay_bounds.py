@@ -1,0 +1,67 @@
+"""Fig. 1 -- sensitivity of the path delay to gate sizing.
+
+Regenerates the Fig. 1 trajectory: the eq. 4 iteration walking from the
+all-minimum (Tmax) corner down to Tmin, plotted as path delay vs total
+input capacitance (in CREF units).  The paper's 11-gate path is modelled
+with the same gate mix used throughout section 3.
+"""
+
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.protocol.report import format_table
+from repro.sizing.bounds import delay_bounds
+from repro.timing.path import make_path
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def fig1_path(lib):
+    kinds = [
+        GateKind.INV,
+        GateKind.NAND2,
+        GateKind.NOR2,
+        GateKind.INV,
+        GateKind.NAND3,
+        GateKind.INV,
+        GateKind.NOR3,
+        GateKind.INV,
+        GateKind.NAND2,
+        GateKind.INV,
+        GateKind.INV,
+    ]
+    return make_path(kinds, lib, cterm_ff=60.0 * lib.cref)
+
+
+def test_fig1_series(benchmark, lib, fig1_path):
+    """Print the delay-vs-capacitance trajectory and the two bounds."""
+    bounds = benchmark.pedantic(
+        delay_bounds, args=(fig1_path, lib), rounds=3, iterations=1
+    )
+    # Decimate the trace like the figure does.
+    history = list(bounds.history)
+    keep = history[:6] + history[6:-1:10] + [history[-1]]
+    rows = [
+        (p.iteration, f"{p.total_cin_over_cref:.1f}", f"{p.delay_ps:.1f}")
+        for p in keep
+    ]
+    body = format_table(("iter", "sum CIN/CREF", "delay (ps)"), rows)
+    body += (
+        f"\n\nTmax (min area)  = {bounds.tmax_ps:.1f} ps"
+        f"\nTmin             = {bounds.tmin_ps:.1f} ps"
+        f"\nTmax/Tmin        = {bounds.tmax_ps / bounds.tmin_ps:.2f}"
+        f"\n(paper Fig. 1: delay falls from ~1000 ps to ~500 ps while"
+        f"\n sum CIN/CREF grows toward the optimum; same convex shape)"
+    )
+    emit("Fig. 1 -- path delay vs gate sizing iteration", body)
+
+    assert bounds.tmin_ps < bounds.tmax_ps
+    # The trajectory actually descends.
+    assert history[-1].delay_ps < history[0].delay_ps
+
+
+def test_fig1_bounds_kernel(benchmark, lib, fig1_path):
+    """Timed kernel: the full Tmin/Tmax computation of Fig. 1."""
+    result = benchmark(delay_bounds, fig1_path, lib)
+    assert result.tmin_ps > 0

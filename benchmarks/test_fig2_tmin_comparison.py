@@ -1,0 +1,106 @@
+"""Fig. 2 -- minimum delay (Tmin): POPS vs AMPS on ISCAS'85 paths.
+
+The paper shows, per benchmark, the critical-path minimum delay reached by
+POPS (deterministic eq. 4 fixed point) against AMPS (iterative industrial
+sizer), validated by SPICE.  Shape to reproduce: POPS <= AMPS everywhere,
+by a few percent.  We also validate the POPS figure with the
+transistor-level simulator on the smaller paths, mirroring the paper's
+HSPICE check.
+"""
+
+import pytest
+
+from repro.baselines.amps import amps_minimum_delay
+from repro.protocol.report import format_table
+from repro.sizing.bounds import min_delay_bound
+from repro.spice.simulator import SimOptions, simulate_path
+
+from conftest import CORE_CIRCUITS, emit
+
+#: Paper Fig. 2 Tmin in ns (read off the bar chart).
+PAPER_TMIN_NS = {
+    "adder16": 4.5,
+    "c432": 2.2,
+    "c499": 1.8,
+    "c880": 2.1,
+    "c1355": 2.2,
+    "c1908": 2.7,
+    "c3540": 3.3,
+    "c5315": 3.6,
+    "c6288": 8.0,
+    "c7552": 3.1,
+}
+
+
+@pytest.fixture(scope="module")
+def fig2_rows(lib, paths):
+    rows = []
+    for name in CORE_CIRCUITS + ("c6288",):
+        path = paths[name].path
+        tmin, sizes, _, _ = min_delay_bound(path, lib)
+        amps = amps_minimum_delay(path, lib, random_restarts=0)
+        rows.append((name, tmin, amps.delay_ps, sizes, path))
+    return rows
+
+
+def test_fig2_table(benchmark, lib, paths, fig2_rows):
+    # Representative timed kernel: POPS Tmin on the c880 path.
+    benchmark.pedantic(
+        min_delay_bound, args=(paths["c880"].path, lib), rounds=3, iterations=1
+    )
+    table_rows = []
+    for name, tmin, amps_tmin, _, _ in fig2_rows:
+        table_rows.append(
+            (
+                name,
+                f"{tmin / 1000.0:.2f}",
+                f"{amps_tmin / 1000.0:.2f}",
+                f"{100.0 * (amps_tmin / tmin - 1.0):.1f}%",
+                f"{PAPER_TMIN_NS[name]:.1f}",
+            )
+        )
+    body = format_table(
+        ("circuit", "POPS Tmin (ns)", "AMPS Tmin (ns)", "AMPS excess",
+         "paper POPS (ns)"),
+        table_rows,
+    )
+    body += (
+        "\n(paper Fig. 2: POPS at or below AMPS on every circuit; absolute"
+        "\n values differ -- calibrated process + synthetic stand-ins -- but"
+        "\n the ordering and the few-percent gap are the reproduced shape)"
+    )
+    emit("Fig. 2 -- Tmin: POPS vs AMPS", body)
+
+    for name, tmin, amps_tmin, _, _ in fig2_rows:
+        assert tmin <= amps_tmin + 1e-6, name
+
+
+def test_fig2_spice_validation(benchmark, lib, fig2_rows):
+    """The paper's SPICE check, on the two smallest paths."""
+    path_adder = next(r for r in fig2_rows if r[0] == "adder16")
+    benchmark.pedantic(
+        simulate_path,
+        args=(path_adder[4], path_adder[3], lib),
+        kwargs={"options": SimOptions(n_steps=1500)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, tmin, _, sizes, path in fig2_rows:
+        if name not in ("adder16", "c432"):
+            continue
+        sim = simulate_path(path, sizes, lib, options=SimOptions(n_steps=2500))
+        rows.append((name, f"{tmin:.0f}", f"{sim.path_delay_ps:.0f}",
+                     f"{100.0 * abs(sim.path_delay_ps / tmin - 1.0):.1f}%"))
+        assert sim.path_delay_ps == pytest.approx(tmin, rel=0.30)
+    emit(
+        "Fig. 2 (validation) -- model vs transistor-level simulation",
+        format_table(("circuit", "model Tmin (ps)", "simulated (ps)", "gap"), rows),
+    )
+
+
+def test_fig2_pops_kernel(benchmark, lib, paths):
+    """Timed kernel: POPS Tmin on the c432 critical path."""
+    path = paths["c432"].path
+    result = benchmark(min_delay_bound, path, lib)
+    assert result[0] > 0

@@ -1,0 +1,70 @@
+"""Fig. 3 -- the constant sensitivity method on an 11-gate path.
+
+Each point imposes ``dT/dC_IN(i) = a`` on every free gate; sweeping ``a``
+from large negative values to 0 traces the delay-vs-area design space
+ending at the ``a = 0`` minimum -- the figure's annotated curve
+(a = -0.8, -0.6, -0.06, 0).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.protocol.report import format_table
+from repro.sizing.sensitivity import sensitivity_sweep, solve_sensitivity
+from repro.timing.path import make_path
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def fig3_path(lib):
+    kinds = [
+        GateKind.NAND2,
+        GateKind.INV,
+        GateKind.NOR2,
+        GateKind.INV,
+        GateKind.NAND3,
+        GateKind.INV,
+        GateKind.NOR3,
+        GateKind.INV,
+        GateKind.NAND2,
+        GateKind.INV,
+        GateKind.INV,
+    ]
+    return make_path(kinds, lib, cterm_ff=60.0 * lib.cref)
+
+
+def test_fig3_series(benchmark, lib, fig3_path):
+    a_values = np.array([-0.8, -0.6, -0.3, -0.15, -0.06, -0.02, 0.0])
+    sweep = benchmark.pedantic(
+        sensitivity_sweep, args=(fig3_path, lib, a_values), rounds=3, iterations=1
+    )
+    rows = [
+        (
+            f"{sol.a:+.2f}",
+            f"{lib.tech.width_for_cin(float(sol.sizes.sum())):.1f}",
+            f"{sol.area_um:.1f}",
+            f"{sol.delay_ps:.1f}",
+        )
+        for sol in sweep
+    ]
+    body = format_table(
+        ("a (ps/fF)", "sum W drive (um)", "sum W total (um)", "delay (ps)"), rows
+    )
+    body += (
+        "\n(paper Fig. 3: delay decreases and area grows monotonically as"
+        "\n a -> 0; the a = 0 point is the Tmin of Fig. 1)"
+    )
+    emit("Fig. 3 -- constant sensitivity design-space sweep", body)
+
+    delays = [s.delay_ps for s in sweep]
+    areas = [s.area_um for s in sweep]
+    assert all(b <= a + 1e-6 for a, b in zip(delays, delays[1:]))
+    assert all(b >= a - 1e-6 for a, b in zip(areas, areas[1:]))
+
+
+def test_fig3_solve_kernel(benchmark, lib, fig3_path):
+    """Timed kernel: one eq. 6 fixed-point solve (the sweep's unit step)."""
+    sol = benchmark(solve_sensitivity, fig3_path, lib, -0.3)
+    assert sol.delay_ps > 0

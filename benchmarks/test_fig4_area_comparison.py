@@ -1,0 +1,87 @@
+"""Fig. 4 -- area (sum W) under Tc = 1.2 Tmin: POPS vs AMPS.
+
+The constraint-distribution comparison: both tools must meet the same
+hard constraint on each benchmark's critical path; the paper reports the
+resulting total transistor width.  Shape: POPS (constant sensitivity)
+needs less area than the iterative greedy sizer on every circuit.
+"""
+
+import pytest
+
+from repro.baselines.amps import amps_distribute_constraint
+from repro.baselines.sutherland import sutherland_distribute
+from repro.protocol.report import format_table
+from repro.sizing.sensitivity import distribute_constraint
+
+from conftest import CORE_CIRCUITS, emit
+
+TC_RATIO = 1.2
+
+
+@pytest.fixture(scope="module")
+def fig4_rows(lib, paths):
+    rows = []
+    for name in CORE_CIRCUITS:
+        path = paths[name].path
+        ours = distribute_constraint(path, lib, 0.0 + TC_RATIO * _tmin(path, lib))
+        amps = amps_distribute_constraint(path, lib, TC_RATIO * ours.tmin_ps)
+        suth = sutherland_distribute(path, lib, TC_RATIO * ours.tmin_ps)
+        rows.append((name, ours, amps, suth))
+    return rows
+
+
+def _tmin(path, lib):
+    from repro.sizing.bounds import min_delay_bound
+
+    tmin, _, _, _ = min_delay_bound(path, lib)
+    return tmin
+
+
+def test_fig4_table(benchmark, lib, paths, fig4_rows):
+    # Representative timed kernel: the POPS side on c499.
+    path = paths["c499"].path
+    tmin = _tmin(path, lib)
+    benchmark.pedantic(
+        distribute_constraint, args=(path, lib, TC_RATIO * tmin),
+        rounds=3, iterations=1,
+    )
+    table = []
+    for name, ours, amps, suth in fig4_rows:
+        table.append(
+            (
+                name,
+                f"{ours.area_um:.0f}",
+                f"{amps.area_um:.0f}" if amps.met_constraint else "fail",
+                f"{suth.area_um:.0f}" if suth.met_constraint else "fail",
+                f"{100.0 * (amps.area_um / ours.area_um - 1.0):.0f}%",
+            )
+        )
+    body = format_table(
+        ("circuit", "POPS sum W (um)", "AMPS sum W", "Sutherland sum W",
+         "AMPS excess"),
+        table,
+    )
+    body += (
+        "\n(paper Fig. 4: POPS below AMPS on every circuit at Tc = 1.2 Tmin;"
+        "\n the Sutherland equal-delay column is the section 3.2 motivation)"
+    )
+    emit("Fig. 4 -- area under Tc = 1.2 Tmin", body)
+
+    for name, ours, amps, _ in fig4_rows:
+        assert ours.feasible, name
+        if amps.met_constraint:
+            assert ours.area_um <= amps.area_um * 1.02, name
+
+
+def test_fig4_distribution_kernel(benchmark, lib, paths):
+    """Timed kernel: POPS constraint distribution on c432."""
+    from repro.sizing.bounds import min_delay_bound
+
+    path = paths["c432"].path
+    tmin, _, _, _ = min_delay_bound(path, lib)
+
+    def kernel():
+        return distribute_constraint(path, lib, TC_RATIO * tmin)
+
+    result = benchmark(kernel)
+    assert result.feasible

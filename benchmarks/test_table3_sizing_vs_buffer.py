@@ -1,0 +1,83 @@
+"""Table 3 -- minimum delay: gate sizing vs buffer insertion.
+
+Per benchmark critical path: the Tmin reachable by sizing alone against
+the Tmin after Flimit-driven buffer insertion with global re-sizing, and
+the percentage gain.  Shape to reproduce: gains concentrated on circuits
+with heavily loaded nodes (up to ~20%), near-zero on regular structures
+(adder, c3540, c6288).
+"""
+
+import pytest
+
+from repro.buffering.insertion import min_delay_with_buffers
+from repro.protocol.report import format_table
+
+from conftest import CORE_CIRCUITS, emit
+
+#: Paper Table 3 gains (percent).
+PAPER_GAINS = {
+    "adder16": 3,
+    "c432": 13,
+    "c499": 9,
+    "c880": 22,
+    "c1355": 14,
+    "c1908": 15,
+    "c3540": 2,
+    "c5315": 12,
+    "c6288": 3,
+    "c7552": 18,
+}
+
+
+@pytest.fixture(scope="module")
+def table3(lib, limits, paths):
+    rows = {}
+    for name in CORE_CIRCUITS:
+        rows[name] = min_delay_with_buffers(
+            paths[name].path, lib, limits=limits, mode="global"
+        )
+    return rows
+
+
+def test_table3_values(benchmark, lib, limits, paths, table3):
+    benchmark.pedantic(
+        min_delay_with_buffers,
+        args=(paths["c432"].path, lib),
+        kwargs={"limits": limits},
+        rounds=1,
+        iterations=1,
+    )
+    out = []
+    for name in CORE_CIRCUITS:
+        result = table3[name]
+        out.append(
+            (
+                name,
+                f"{result.baseline_delay_ps / 1000.0:.2f}",
+                f"{result.delay_ps / 1000.0:.2f}",
+                f"{100.0 * result.gain:.0f}%",
+                f"{PAPER_GAINS[name]}%",
+                len(result.inserted_at),
+            )
+        )
+    body = format_table(
+        ("circuit", "sizing Tmin (ns)", "buff Tmin (ns)", "gain", "paper gain",
+         "buffers"),
+        out,
+    )
+    body += (
+        "\n(paper Table 3: buffer insertion buys 2-22% of Tmin depending on"
+        "\n the path's fan-out profile; never hurts -- the engine keeps a"
+        "\n buffer only when it improves the minimum delay)"
+    )
+    emit("Table 3 -- sizing vs buffer insertion", body)
+
+    gains = {name: table3[name].gain for name in CORE_CIRCUITS}
+    # Buffering never loses (insertion is improvement-gated).
+    assert all(g >= 0.0 for g in gains.values())
+    # Some circuit benefits noticeably.
+    assert max(gains.values()) > 0.05
+    # The heavy-fanout vs regular-structure split of the paper.
+    heavy = [gains["c1355"], gains["c7552"]]
+    regular = [gains["adder16"], gains["c3540"]]
+    assert min(heavy) > max(regular)

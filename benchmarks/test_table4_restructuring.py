@@ -1,0 +1,152 @@
+"""Table 4 -- buffer insertion vs De Morgan logic restructuring.
+
+On NOR-loaded critical nodes, compare the implementation area of
+
+* polarity-preserving buffer insertion (NOR kept, inverter pair after --
+  the paper's "same number of inserted inverters" comparison), and
+* replacing the NOR by ``INV -> NAND -> INV``.
+
+Methodology notes:
+
+* The paper's circuits exposed NOR gates at the overloaded nodes (their
+  library was NOR-rich); our synthetic stand-ins put arbitrary kinds
+  there, so the bench deterministically *NOR-stresses* each extracted
+  path -- the buffering target stages become NORs of matching arity --
+  recreating the Table 4 scenario exactly.
+* Buffer insertion is applied in the paper's local flow (buffers
+  square-root sized, gates redistributed around them).  Against a fully
+  *global* joint re-sizing the two structures converge to within ~2%
+  (also reported); the paper's area gains live in the difference.
+"""
+
+import pytest
+
+from repro.buffering.insertion import distribute_with_buffers, min_delay_with_buffers
+from repro.cells.gate_types import nor_kind
+from repro.protocol.report import format_table
+from repro.restructuring.demorgan import distribute_with_restructuring
+from repro.sizing.bounds import min_delay_bound
+from repro.timing.path import PathStage
+
+from conftest import emit
+
+CIRCUITS = ("c1355", "c1908", "c5315", "c7552")
+
+#: Paper Table 4 gains (percent) for (hard, medium).
+PAPER_GAINS = {
+    "c1355": (16, 4),
+    "c1908": (11, 11),
+    "c5315": (11, 6),
+    "c7552": (None, 6),  # hard-constraint row is unreadable in the scan
+}
+
+DOMAIN_POINTS = (("hard", 1.05), ("medium", 1.6))
+
+
+def _nor_stressed(path, sites, lib):
+    """The Table 4 workload: NORs at the buffering target stages."""
+    variant = path
+    for index in sites:
+        stage = variant.stages[index]
+        width = 2 if stage.cell.n_inputs <= 2 else 3
+        variant = variant.with_stage_replaced(
+            index,
+            PathStage(
+                cell=lib.cell(nor_kind(width)),
+                cside_ff=stage.cside_ff,
+                name=stage.name,
+            ),
+        )
+    return variant
+
+
+@pytest.fixture(scope="module")
+def table4(lib, limits, paths):
+    data = {label: [] for label, _ in DOMAIN_POINTS}
+    for name in CIRCUITS:
+        path = paths[name].path
+        sites = list(
+            min_delay_with_buffers(path, lib, limits=limits).inserted_at
+        )
+        if not sites:
+            continue
+        variant = _nor_stressed(path, sites, lib)
+        tmin, _, _, _ = min_delay_bound(variant, lib)
+        for label, ratio in DOMAIN_POINTS:
+            tc = ratio * tmin
+            local_buf, _, _ = distribute_with_buffers(
+                variant, lib, tc, limits=limits, mode="local", buffer_stages=2
+            )
+            global_buf, _, _ = distribute_with_buffers(
+                variant, lib, tc, limits=limits, mode="global", buffer_stages=2
+            )
+            restructured, rewritten = distribute_with_restructuring(
+                variant, lib, tc, indices=sites, limits=limits
+            )
+            restr_area = (
+                restructured.area_um + rewritten.side_inverter_area_um
+                if restructured.feasible
+                else float("inf")
+            )
+            data[label].append(
+                (
+                    name,
+                    local_buf.area_um if local_buf.feasible else float("inf"),
+                    global_buf.area_um if global_buf.feasible else float("inf"),
+                    restr_area,
+                    len(sites),
+                )
+            )
+    return data
+
+
+def test_table4_values(benchmark, lib, limits, paths, table4):
+    path = paths["c1355"].path
+    tmin, _, _, _ = min_delay_bound(path, lib)
+    benchmark.pedantic(
+        distribute_with_restructuring, args=(path, lib, 1.6 * tmin),
+        kwargs={"limits": limits}, rounds=1, iterations=1,
+    )
+
+    for label, _ in DOMAIN_POINTS:
+        rows = []
+        for name, buff, global_buf, restr, n_sites in table4[label]:
+            gain = 100.0 * (1.0 - restr / buff) if buff > 0 else 0.0
+            paper = PAPER_GAINS[name][0 if label == "hard" else 1]
+            rows.append(
+                (
+                    name,
+                    f"{buff:.0f}",
+                    f"{restr:.0f}",
+                    f"{gain:.0f}%",
+                    f"{paper}%" if paper is not None else "n/a",
+                    f"{global_buf:.0f}",
+                    n_sites,
+                )
+            )
+        emit(
+            f"Table 4 ({label} constraint) -- buffering vs restructuring",
+            format_table(
+                ("circuit", "buff sum W (um)", "restruct sum W (um)", "gain",
+                 "paper gain", "(global buff)", "NOR sites"),
+                rows,
+            ),
+        )
+
+    assert table4["medium"], "no buffering sites found on any circuit"
+
+    # Medium domain: restructuring wins on most circuits (the paper's
+    # 4-11% band).
+    medium_gains = [
+        1.0 - restr / buff for _, buff, _, restr, _ in table4["medium"]
+    ]
+    wins = sum(1 for g in medium_gains if g > 0)
+    assert wins >= max(1, len(medium_gains) - 1)
+    assert max(medium_gains) > 0.02
+
+    # Both domains: restructuring is never meaningfully worse than the
+    # buffer-pair implementation, and tracks the global optimum closely.
+    for label, _ in DOMAIN_POINTS:
+        for name, buff, global_buf, restr, _ in table4[label]:
+            assert restr <= buff * 1.06, (label, name)
+            assert restr <= global_buf * 1.10, (label, name)

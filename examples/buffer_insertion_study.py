@@ -1,0 +1,69 @@
+"""When does a buffer beat a bigger transistor?  The Flimit story.
+
+Reproduces the section 4.1 reasoning interactively:
+
+1. the characterised fan-out limits of the library (Table 2);
+2. a sweep of one node's side load on a 5-gate path, showing the sizing
+   engine absorbing small loads and buffer insertion taking over once the
+   fan-out ratio cannot be brought below the limit;
+3. the transistor-level simulator cross-checking one crossover.
+
+Run:  python examples/buffer_insertion_study.py
+"""
+
+from repro.buffering import (
+    TABLE2_GATES,
+    default_flimits,
+    flimit,
+    min_delay_with_buffers,
+)
+from repro.cells import GateKind, default_library
+from repro.sizing import min_delay_bound
+from repro.spice import SimOptions, simulate_path
+from repro.timing import make_path
+
+
+def main() -> None:
+    library = default_library()
+
+    print("fan-out limits, inverter-driven (paper Table 2):")
+    for gate in TABLE2_GATES:
+        print(f"  inv -> {gate.value:<6}  Flimit = {flimit(library, gate):5.2f}")
+    print("  (the weaker the gate -- NOR3 worst -- the earlier a buffer pays)")
+
+    limits = default_flimits(library)
+    kinds = [GateKind.INV, GateKind.NAND2, GateKind.NOR2, GateKind.NAND2,
+             GateKind.INV]
+    print(f"\nside-load sweep on {' -> '.join(k.value for k in kinds)}:")
+    print(f"{'side load':<12}{'sizing Tmin':<14}{'buffered Tmin':<16}"
+          f"{'gain':<8}{'buffers'}")
+    for mult in (50, 150, 250, 400, 700):
+        side = [0.0, 0.0, mult * library.cref, 0.0, 0.0]
+        path = make_path(kinds, library, cterm_ff=10.0 * library.cref,
+                         cside_ff=side)
+        result = min_delay_with_buffers(path, library, limits=limits)
+        print(
+            f"{mult:>4} x CREF  "
+            f"{result.baseline_delay_ps:>8.1f} ps   "
+            f"{result.delay_ps:>9.1f} ps     "
+            f"{100.0 * result.gain:>4.1f}%   "
+            f"{len(result.inserted_at)}"
+        )
+    print("  (small loads are absorbed by sizing; past the limit, load"
+          "\n   dilution through a buffer is the better transistor budget)")
+
+    # Cross-check one buffered implementation with the analog simulator.
+    side = [0.0, 0.0, 400 * library.cref, 0.0, 0.0]
+    path = make_path(kinds, library, cterm_ff=10.0 * library.cref, cside_ff=side)
+    buffered = min_delay_with_buffers(path, library, limits=limits)
+    tmin, sizes, _, _ = min_delay_bound(buffered.path, library)
+    sim = simulate_path(buffered.path, sizes, library,
+                        options=SimOptions(n_steps=2500))
+    print(f"\ntransistor-level check of the buffered path:")
+    print(f"  model  : {tmin:7.1f} ps")
+    print(f"  sim    : {sim.path_delay_ps:7.1f} ps "
+          f"({100 * abs(sim.path_delay_ps / tmin - 1):.1f}% apart)")
+
+
+if __name__ == "__main__":
+    main()

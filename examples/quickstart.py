@@ -1,0 +1,68 @@
+"""Quickstart: size a combinational path at minimum area under a delay goal.
+
+The 60-second tour of the library:
+
+1. build the default 0.25 um characterised library;
+2. describe a bounded path (fixed input drive, fixed terminal load);
+3. compute its delay window [Tmin, Tmax] (eq. 4 of the paper);
+4. distribute a delay constraint with the constant sensitivity method;
+5. inspect the resulting sizes, area and slack.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cells import GateKind, default_library
+from repro.sizing import delay_bounds, distribute_constraint
+from repro.timing import make_path
+
+
+def main() -> None:
+    library = default_library()
+    print(f"process          : {library.tech.name} (VDD {library.tech.vdd} V)")
+    print(f"minimum drive    : CREF = {library.cref:.2f} fF")
+
+    # An 8-gate path driving a register bank (40 reference inverters).
+    path = make_path(
+        [
+            GateKind.INV,
+            GateKind.NAND2,
+            GateKind.INV,
+            GateKind.NOR2,
+            GateKind.INV,
+            GateKind.NAND3,
+            GateKind.INV,
+            GateKind.INV,
+        ],
+        library,
+        cterm_ff=40.0 * library.cref,
+    )
+
+    bounds = delay_bounds(path, library)
+    print(f"\npath             : {' -> '.join(k.value for k in path.kinds)}")
+    print(f"Tmax (min area)  : {bounds.tmax_ps:7.1f} ps   "
+          f"(sum W = {bounds.area_tmax_um:.1f} um)")
+    print(f"Tmin             : {bounds.tmin_ps:7.1f} ps   "
+          f"(sum W = {bounds.area_tmin_um:.1f} um)")
+
+    # A constraint 30% above the floor: feasible, met at minimum area.
+    tc = 1.3 * bounds.tmin_ps
+    result = distribute_constraint(path, library, tc)
+    print(f"\nconstraint Tc    : {tc:7.1f} ps  (1.30 x Tmin)")
+    print(f"achieved delay   : {result.achieved_delay_ps:7.1f} ps  "
+          f"(slack {result.slack_ps:+.1f} ps)")
+    print(f"area             : {result.area_um:7.1f} um  "
+          f"(vs {bounds.area_tmin_um:.1f} um at full speed)")
+    print(f"sensitivity a    : {result.a:7.3f} ps/fF")
+    print("\nper-gate input capacitances (fF):")
+    for stage, cin in zip(path.stages, result.sizes):
+        print(f"  {stage.cell.name:<6} {cin:8.2f}")
+
+    # An impossible constraint: the feasibility check says so up front,
+    # instead of letting an iterative sizer loop forever (section 3.1).
+    impossible = distribute_constraint(path, library, 0.8 * bounds.tmin_ps)
+    print(f"\nTc = 0.8 x Tmin  : feasible = {impossible.feasible} "
+          "(structure modification required -- see the protocol example)")
+
+
+if __name__ == "__main__":
+    main()

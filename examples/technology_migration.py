@@ -1,0 +1,54 @@
+"""Technology migration study: the protocol across process nodes.
+
+The delay model is parametric in the process descriptor, so the same
+protocol answers "what does this path cost at the next node?"  This
+example sizes one path for the same *relative* constraint on three nodes
+(0.25 / 0.18 / 0.13 um) and reports how Tmin, the area and the power
+proxy scale -- plus the domain boundaries, which are node-independent by
+construction (they are ratios).
+
+Run:  python examples/technology_migration.py
+"""
+
+from repro.cells import GateKind, default_library
+from repro.process import CMOS013, CMOS018, CMOS025
+from repro.sizing import delay_bounds, distribute_constraint
+from repro.timing import make_path
+
+KINDS = [
+    GateKind.INV,
+    GateKind.NAND2,
+    GateKind.NOR2,
+    GateKind.INV,
+    GateKind.NAND3,
+    GateKind.INV,
+    GateKind.AOI21,
+    GateKind.INV,
+]
+
+
+def main() -> None:
+    print(f"{'node':<10}{'VDD':<6}{'tau':<7}{'Tmin (ps)':<11}"
+          f"{'Tmax/Tmin':<11}{'area@1.3Tmin':<14}{'CLoad (fF)'}")
+    for tech in (CMOS025, CMOS018, CMOS013):
+        library = default_library(tech)
+        path = make_path(KINDS, library, cterm_ff=40.0 * library.cref)
+        bounds = delay_bounds(path, library)
+        result = distribute_constraint(path, library, 1.3 * bounds.tmin_ps)
+        print(
+            f"{tech.name:<10}{tech.vdd:<6.2f}{tech.tau_ps:<7.1f}"
+            f"{bounds.tmin_ps:<11.1f}"
+            f"{bounds.tmax_ps / bounds.tmin_ps:<11.2f}"
+            f"{result.area_um:<14.1f}"
+            f"{path.cterm_ff:.1f}"
+        )
+    print(
+        "\nThe absolute numbers scale with tau and the capacitance"
+        "\ndensities; the Tmax/Tmin ratio -- and with it the weak/medium/"
+        "\nhard domain classification -- is a property of the *path*, which"
+        "\nis why the protocol transfers across nodes unchanged."
+    )
+
+
+if __name__ == "__main__":
+    main()

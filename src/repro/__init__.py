@@ -1,0 +1,24 @@
+"""POPS reproduction: low-power oriented CMOS circuit optimization protocol.
+
+Reproduction of A. Verle, X. Michel, N. Azemard, P. Maurine, D. Auvergne,
+"Low Power Oriented CMOS Circuit Optimization Protocol", DATE 2005.
+
+Public entry points (see README for a tour):
+
+* :mod:`repro.process`        -- technology descriptors, device models
+* :mod:`repro.cells`          -- characterised standard-cell library
+* :mod:`repro.netlist`        -- circuit DAGs, ISCAS ``.bench`` I/O
+* :mod:`repro.iscas`          -- benchmark circuits / path registry
+* :mod:`repro.timing`         -- eq. 1-3 delay model, bounded paths, STA
+* :mod:`repro.sizing`         -- Tmin/Tmax bounds, constant sensitivity
+* :mod:`repro.buffering`      -- Flimit metric, buffer insertion
+* :mod:`repro.restructuring`  -- De Morgan logic transformation
+* :mod:`repro.protocol`       -- the Fig. 7 optimization protocol
+* :mod:`repro.baselines`      -- AMPS-like industrial-tool surrogate
+* :mod:`repro.spice`          -- transistor-level reference simulator
+* :mod:`repro.analysis`       -- area / power / activity analysis
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""Analysis substrate: area, switching activity and power estimation."""
+
+from repro.analysis.activity import ActivityReport, estimate_activity
+from repro.analysis.area import (
+    area_by_kind_um,
+    circuit_area_um,
+    total_input_capacitance_ff,
+)
+from repro.analysis.power import PowerReport, estimate_power
+from repro.analysis.variation import (
+    DelayDistribution,
+    VariationSpec,
+    delay_distribution,
+    required_guard_band,
+)
+
+__all__ = [
+    "circuit_area_um",
+    "area_by_kind_um",
+    "total_input_capacitance_ff",
+    "ActivityReport",
+    "estimate_activity",
+    "PowerReport",
+    "estimate_power",
+    "VariationSpec",
+    "DelayDistribution",
+    "delay_distribution",
+    "required_guard_band",
+]

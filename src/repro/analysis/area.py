@@ -1,0 +1,55 @@
+"""Area accounting: the paper's ``sum W`` metric at circuit scope."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.cells.library import Library
+from repro.netlist.circuit import Circuit
+from repro.timing.sta import gate_sizes
+
+
+def circuit_area_um(
+    circuit: Circuit,
+    library: Library,
+    sizes: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Total transistor width (um) of a sized circuit."""
+    if sizes is None:
+        sizes = gate_sizes(circuit, library)
+    total = 0.0
+    for gate in circuit.gates.values():
+        cell = library.cell(gate.kind)
+        total += cell.total_width_um(sizes[gate.name], library.tech)
+    return total
+
+
+def area_by_kind_um(
+    circuit: Circuit,
+    library: Library,
+    sizes: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """``sum W`` broken down by gate kind (reporting helper)."""
+    if sizes is None:
+        sizes = gate_sizes(circuit, library)
+    breakdown: Dict[str, float] = {}
+    for gate in circuit.gates.values():
+        cell = library.cell(gate.kind)
+        width = cell.total_width_um(sizes[gate.name], library.tech)
+        breakdown[gate.kind.value] = breakdown.get(gate.kind.value, 0.0) + width
+    return breakdown
+
+
+def total_input_capacitance_ff(
+    circuit: Circuit,
+    library: Library,
+    sizes: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Total gate input capacitance (fF) -- the switched-cap substrate."""
+    if sizes is None:
+        sizes = gate_sizes(circuit, library)
+    total = 0.0
+    for gate in circuit.gates.values():
+        cell = library.cell(gate.kind)
+        total += cell.n_inputs * sizes[gate.name]
+    return total

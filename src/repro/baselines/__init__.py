@@ -1,0 +1,16 @@
+"""Baseline optimizers: the AMPS-like industrial surrogate and Sutherland."""
+
+from repro.baselines.amps import (
+    AmpsResult,
+    amps_distribute_constraint,
+    amps_minimum_delay,
+)
+from repro.baselines.sutherland import SutherlandResult, sutherland_distribute
+
+__all__ = [
+    "AmpsResult",
+    "amps_minimum_delay",
+    "amps_distribute_constraint",
+    "SutherlandResult",
+    "sutherland_distribute",
+]

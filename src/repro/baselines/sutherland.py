@@ -1,0 +1,112 @@
+"""Sutherland / logical-effort constraint distribution (section 3.2).
+
+The paper's reference point for constraint distribution: impose the *same
+delay* on every stage (Mead's equal-taper rule generalised by Sutherland's
+logical effort).  Fast, but it oversizes gates with large logical weights
+-- which is exactly what the constant-sensitivity method fixes (Fig. 3/4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cells.library import Library
+from repro.timing.evaluation import evaluate_path, path_area_um, path_delay_ps
+from repro.timing.path import BoundedPath
+
+
+@dataclass(frozen=True)
+class SutherlandResult:
+    """Equal-stage-delay sizing outcome."""
+
+    delay_ps: float
+    area_um: float
+    sizes: np.ndarray
+    stage_budget_ps: float
+    met_constraint: bool
+
+
+def _sizes_for_budget(
+    path: BoundedPath, library: Library, budget_ps: float, sweeps: int = 60
+) -> np.ndarray:
+    """Sizes giving each stage ``budget_ps`` of delay (fixed point).
+
+    Backward Gauss-Seidel: given the downstream size, each stage's size is
+    the one that makes its eq. 1 delay equal to the budget.  Clamped to
+    minimum drives (a stage whose minimum delay exceeds the budget simply
+    saturates -- equal distribution is then infeasible at that budget).
+    """
+    n = len(path)
+    sizes = path.min_sizes(library)
+    # A stage whose side load makes the budget unreachable would drive the
+    # fixed point to infinity; the cap makes it saturate at a realistic
+    # maximum drive instead (the stage then simply exceeds its budget --
+    # equal distribution degrades gracefully rather than failing).
+    size_cap = 2e3 * library.cref
+    for _ in range(sweeps):
+        previous = sizes.copy()
+        timing = evaluate_path(path, sizes, library)
+        for i in range(n - 1, 0, -1):
+            # Stage delay is ~ A_i * C_ext / C_IN + const: invert for C_IN.
+            stage_delay = timing.stage_delays_ps[i]
+            if stage_delay <= 0:
+                continue
+            # Delay scales ~ 1/C_IN around the current point for the load
+            # term; use a secant update on the dominant dependence.  The
+            # taper cap keeps a stage from outgrowing what its driver can
+            # charge (otherwise the driver's budget blows up instead).
+            scale = stage_delay / budget_ps
+            taper_cap = 10.0 * sizes[i - 1]
+            sizes[i] = min(sizes[i] * scale, size_cap, taper_cap)
+        sizes = path.clamp_sizes(sizes, library)
+        if np.allclose(previous, sizes, rtol=1e-7, atol=1e-9):
+            break
+    return sizes
+
+
+def sutherland_distribute(
+    path: BoundedPath,
+    library: Library,
+    tc_ps: float,
+    max_bisection: int = 50,
+) -> SutherlandResult:
+    """Meet ``Tc`` by equalising stage delays (the paper's fast baseline).
+
+    Bisects the per-stage budget ``Tc / n`` scale until the total path
+    delay matches ``Tc``; every stage then carries (approximately) the
+    same delay, regardless of how expensive that is for heavy gates.
+    """
+    if tc_ps <= 0:
+        raise ValueError("tc_ps must be positive")
+    n = len(path)
+
+    lo, hi = tc_ps / (8.0 * n), 4.0 * tc_ps / n
+    best: Optional[np.ndarray] = None
+    best_budget = hi
+    for _ in range(max_bisection):
+        budget = 0.5 * (lo + hi)
+        sizes = _sizes_for_budget(path, library, budget)
+        total = path_delay_ps(path, sizes, library)
+        if total <= tc_ps:
+            best, best_budget = sizes, budget
+            lo = budget  # try a lazier (larger-budget, smaller-area) fit
+        else:
+            hi = budget
+        if hi - lo < 1e-6 * tc_ps:
+            break
+
+    met = best is not None
+    if best is None:
+        best = _sizes_for_budget(path, library, tc_ps / n)
+        best_budget = tc_ps / n
+    total = path_delay_ps(path, best, library)
+    return SutherlandResult(
+        delay_ps=total,
+        area_um=path_area_um(path, best, library),
+        sizes=best,
+        stage_budget_ps=best_budget,
+        met_constraint=met and total <= tc_ps * (1.0 + 1e-6),
+    )

@@ -1,0 +1,33 @@
+"""Buffer insertion: the Flimit efficiency metric and insertion engines."""
+
+from repro.buffering.flimit import (
+    TABLE2_GATES,
+    FlimitEntry,
+    characterize_library,
+    flimit,
+    flimit_lookup,
+    flimit_simulated,
+)
+from repro.buffering.insertion import (
+    BufferingResult,
+    default_flimits,
+    distribute_with_buffers,
+    insert_buffers_at,
+    min_delay_with_buffers,
+    overloaded_stages,
+)
+
+__all__ = [
+    "flimit",
+    "flimit_simulated",
+    "characterize_library",
+    "flimit_lookup",
+    "FlimitEntry",
+    "TABLE2_GATES",
+    "BufferingResult",
+    "default_flimits",
+    "overloaded_stages",
+    "insert_buffers_at",
+    "min_delay_with_buffers",
+    "distribute_with_buffers",
+]

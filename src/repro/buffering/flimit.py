@@ -1,0 +1,295 @@
+"""The load buffer-insertion limit ``Flimit`` (section 4.1, Table 2).
+
+For the Fig. 5 configuration -- gate ``(i-1)`` driving gate ``(i)`` driving
+a terminal load ``C_L`` -- ``Flimit`` is the fan-out value ``F = C_L /
+C_IN(i)`` above which interposing an optimally-sized buffer between ``(i)``
+and the load (structure B) beats driving the load directly (structure A).
+Gates ``(i-1)`` and ``(i)`` keep their sizes; only the buffer is sized
+(local insertion).
+
+``Flimit`` is a pure *gate efficiency* metric: the weaker the gate's
+drive per unit of input capacitance (large logical weight -- NOR worst),
+the earlier a buffer pays off, hence the Table 2 ordering
+``inv > nand2 > nand3 > nor2 > nor3``.  The library characterisation step
+of the protocol (Fig. 7) tabulates it for every driver/gate pair once,
+then uses it to flag critical nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.gate_types import GateKind
+from repro.cells.library import Library
+from repro.timing.delay_model import Edge
+from repro.timing.evaluation import path_delay_ps
+from repro.timing.path import BoundedPath, PathStage, make_path
+
+
+@dataclass(frozen=True)
+class FlimitEntry:
+    """One characterised (driver, gate) pair.
+
+    Attributes
+    ----------
+    computed:
+        ``Flimit`` from the closed-form model (Table 2 "Calcul." column).
+    simulated:
+        ``Flimit`` re-derived with the transistor-level simulator
+        (Table 2 "Simulation" column); ``None`` until requested.
+    """
+
+    driver: GateKind
+    gate: GateKind
+    computed: float
+    simulated: Optional[float] = None
+
+
+def _two_stage_delay(
+    library: Library,
+    driver: GateKind,
+    gate: GateKind,
+    cin_gate_ff: float,
+    cload_ff: float,
+    input_edge: Edge,
+) -> float:
+    """Structure A delay: driver -> gate -> load."""
+    path = make_path(
+        [driver, gate],
+        library,
+        cin_first_ff=library.cref * 2.0,
+        cterm_ff=cload_ff,
+        input_edge=input_edge,
+    )
+    return path_delay_ps(path, [path.cin_first_ff, cin_gate_ff], library)
+
+
+def _buffered_delay(
+    library: Library,
+    driver: GateKind,
+    gate: GateKind,
+    cin_gate_ff: float,
+    cload_ff: float,
+    input_edge: Edge,
+    buffer_stages: int,
+) -> float:
+    """Structure B delay with the buffer optimally sized (golden search)."""
+    kinds = [driver, gate] + [GateKind.INV] * buffer_stages
+    path = make_path(
+        kinds,
+        library,
+        cin_first_ff=library.cref * 2.0,
+        cterm_ff=cload_ff,
+        input_edge=input_edge,
+    )
+    inv_min = library.inverter.cin_min(library.tech)
+
+    def delay_for(buffer_cins: Sequence[float]) -> float:
+        sizes = [path.cin_first_ff, cin_gate_ff] + list(buffer_cins)
+        return path_delay_ps(path, sizes, library)
+
+    if buffer_stages == 1:
+        # 1-D minimisation over the buffer input capacitance.
+        lo, hi = inv_min, max(cload_ff * 2.0, inv_min * 4.0)
+        phi = (math.sqrt(5.0) - 1.0) / 2.0
+        a, b = lo, hi
+        c = b - phi * (b - a)
+        d = a + phi * (b - a)
+        fc, fd = delay_for([c]), delay_for([d])
+        for _ in range(70):
+            if fc < fd:
+                b, d, fd = d, c, fc
+                c = b - phi * (b - a)
+                fc = delay_for([c])
+            else:
+                a, c, fc = c, d, fd
+                d = a + phi * (b - a)
+                fd = delay_for([d])
+        best = 0.5 * (a + b)
+        return delay_for([best])
+
+    # Multi-stage buffer: geometric taper parameterised by the first stage,
+    # 1-D golden search on the taper base.
+    def taper_delay(first_cin: float) -> float:
+        ratio = (cload_ff / first_cin) ** (1.0 / buffer_stages)
+        cins = [first_cin * ratio**j for j in range(buffer_stages)]
+        cins = [max(c, inv_min) for c in cins]
+        return delay_for(cins)
+
+    lo, hi = inv_min, max(cload_ff, inv_min * 4.0)
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - phi * (b - a)
+    d = a + phi * (b - a)
+    fc, fd = taper_delay(c), taper_delay(d)
+    for _ in range(70):
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - phi * (b - a)
+            fc = taper_delay(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + phi * (b - a)
+            fd = taper_delay(d)
+    return taper_delay(0.5 * (a + b))
+
+
+def flimit(
+    library: Library,
+    gate: GateKind,
+    driver: GateKind = GateKind.INV,
+    cin_gate_ff: Optional[float] = None,
+    buffer_stages: int = 1,
+    input_edge: Edge = Edge.RISE,
+    f_max: float = 400.0,
+) -> float:
+    """Compute ``Flimit`` for ``gate`` controlled by ``driver``.
+
+    Bisection on ``F``: below the limit structure A (no buffer) is faster,
+    above it structure B (optimal buffer) wins.  ``buffer_stages = 1`` is
+    the paper's local metric; 2 characterises polarity-preserving pairs.
+    Returns ``inf`` when the buffer never wins before ``f_max``.
+    """
+    if buffer_stages < 1:
+        raise ValueError("buffer_stages must be >= 1")
+    if cin_gate_ff is None:
+        cin_gate_ff = 4.0 * library.cref
+
+    def advantage(f: float) -> float:
+        cload = f * cin_gate_ff
+        t_a = _two_stage_delay(library, driver, gate, cin_gate_ff, cload, input_edge)
+        t_b = _buffered_delay(
+            library, driver, gate, cin_gate_ff, cload, input_edge, buffer_stages
+        )
+        return t_a - t_b  # positive when the buffer helps
+
+    lo, hi = 1.0, f_max
+    if advantage(lo) > 0:
+        return lo
+    if advantage(hi) < 0:
+        return math.inf
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if advantage(mid) > 0:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)
+
+
+def flimit_simulated(
+    library: Library,
+    gate: GateKind,
+    driver: GateKind = GateKind.INV,
+    cin_gate_ff: Optional[float] = None,
+    input_edge: Edge = Edge.RISE,
+    f_max: float = 60.0,
+    n_grid: int = 10,
+) -> float:
+    """``Flimit`` re-derived with the transistor-level simulator.
+
+    The Table 2 "Simulation" column.  A coarse grid + local bisection keeps
+    the transient count manageable; the buffer is sized by the square-root
+    rule (geometric mean of the gate drive and the load) rather than a full
+    golden search per transient.
+    """
+    from repro.spice.simulator import SimOptions, simulate_path
+
+    if cin_gate_ff is None:
+        cin_gate_ff = 4.0 * library.cref
+    inv_min = library.inverter.cin_min(library.tech)
+    options = SimOptions(n_steps=1500)
+
+    def advantage(f: float) -> float:
+        cload = f * cin_gate_ff
+        path_a = make_path(
+            [driver, gate],
+            library,
+            cin_first_ff=library.cref * 2.0,
+            cterm_ff=cload,
+            input_edge=input_edge,
+        )
+        t_a = simulate_path(
+            path_a, [path_a.cin_first_ff, cin_gate_ff], library, options
+        ).path_delay_ps
+        path_b = make_path(
+            [driver, gate, GateKind.INV],
+            library,
+            cin_first_ff=library.cref * 2.0,
+            cterm_ff=cload,
+            input_edge=input_edge,
+        )
+        # Near-optimal buffer: a short bracket around the geometric-mean
+        # rule (a fixed sqrt-sized buffer systematically understates the
+        # B structure and inflates the measured limit).
+        base = max(math.sqrt(cin_gate_ff * cload), inv_min)
+        t_b = min(
+            simulate_path(
+                path_b,
+                [path_b.cin_first_ff, cin_gate_ff, max(scale * base, inv_min)],
+                library,
+                options,
+            ).path_delay_ps
+            for scale in (0.5, 0.75, 1.0, 1.5)
+        )
+        return t_a - t_b
+
+    grid = np.linspace(1.5, f_max, n_grid)
+    previous_f, previous_adv = grid[0], advantage(grid[0])
+    if previous_adv > 0:
+        return float(previous_f)
+    for f in grid[1:]:
+        adv = advantage(float(f))
+        if adv > 0:
+            lo, hi = previous_f, float(f)
+            for _ in range(12):
+                mid = 0.5 * (lo + hi)
+                if advantage(mid) > 0:
+                    hi = mid
+                else:
+                    lo = mid
+            return 0.5 * (lo + hi)
+        previous_f, previous_adv = float(f), adv
+    return math.inf
+
+
+#: The gate set of the paper's Table 2.
+TABLE2_GATES = (
+    GateKind.INV,
+    GateKind.NAND2,
+    GateKind.NAND3,
+    GateKind.NOR2,
+    GateKind.NOR3,
+)
+
+
+def characterize_library(
+    library: Library,
+    gates: Sequence[GateKind] = TABLE2_GATES,
+    drivers: Sequence[GateKind] = (GateKind.INV,),
+    with_simulation: bool = False,
+    buffer_stages: int = 1,
+) -> List[FlimitEntry]:
+    """Tabulate ``Flimit`` for every (driver, gate) pair (Fig. 7, step 1)."""
+    entries: List[FlimitEntry] = []
+    for driver in drivers:
+        for gate in gates:
+            computed = flimit(library, gate, driver, buffer_stages=buffer_stages)
+            simulated = (
+                flimit_simulated(library, gate, driver) if with_simulation else None
+            )
+            entries.append(
+                FlimitEntry(
+                    driver=driver, gate=gate, computed=computed, simulated=simulated
+                )
+            )
+    return entries
+
+
+def flimit_lookup(entries: Sequence[FlimitEntry]) -> Dict[Tuple[GateKind, GateKind], float]:
+    """(driver, gate) -> computed Flimit mapping for the insertion engine."""
+    return {(e.driver, e.gate): e.computed for e in entries}

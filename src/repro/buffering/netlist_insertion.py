@@ -1,0 +1,56 @@
+"""Netlist-level buffer insertion: polarity-preserving inverter pairs.
+
+The path-level experiments follow the paper's polarity-free convention
+(single inverters); writing an insertion back onto a *netlist* must keep
+the logic intact, so the circuit driver inserts inverter pairs: the
+flagged gate's entire fan-out (and its primary-output role, if any) moves
+behind the pair, realising the same load dilution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cells.gate_types import GateKind
+from repro.cells.library import Library
+from repro.netlist.circuit import Circuit
+
+
+def insert_buffer_pair(
+    circuit: Circuit,
+    gate_name: str,
+    library: Optional[Library] = None,
+    cin_ff: Optional[float] = None,
+) -> Tuple[str, str]:
+    """Insert an inverter pair after ``gate_name`` (in place).
+
+    Every reader of ``gate_name`` -- fan-out gates and the primary-output
+    list -- is reconnected to the pair's output, so the original gate
+    drives only the first inverter.  Returns the two inverter net names.
+
+    ``cin_ff`` sizes both inverters (defaults to four reference inverters
+    when a library is given, otherwise unsized).
+    """
+    gate = circuit.gate(gate_name)  # raises on unknown names
+    first = f"{gate_name}_bufa"
+    second = f"{gate_name}_bufb"
+    if first in circuit.gates or second in circuit.gates:
+        raise ValueError(f"{gate_name!r} already carries an inserted pair")
+
+    if cin_ff is None and library is not None:
+        cin_ff = 4.0 * library.cref
+
+    # Rewire the readers first (the pair must not read itself).
+    for reader in circuit.gates.values():
+        if gate_name in reader.fanin:
+            reader.fanin = tuple(
+                second if net == gate_name else net for net in reader.fanin
+            )
+    circuit.add_gate(first, GateKind.INV, [gate_name], cin_ff=cin_ff)
+    circuit.add_gate(second, GateKind.INV, [first], cin_ff=cin_ff)
+    if gate_name in circuit.outputs:
+        circuit.outputs = [
+            second if net == gate_name else net for net in circuit.outputs
+        ]
+    circuit.validate()
+    return first, second

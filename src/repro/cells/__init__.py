@@ -1,0 +1,29 @@
+"""Standard-cell substrate: gate kinds, characterised cells, libraries."""
+
+from repro.cells.cell import Cell
+from repro.cells.gate_types import (
+    GateKind,
+    and_kind,
+    is_inverting,
+    logic_eval,
+    nand_kind,
+    nor_kind,
+    num_inputs,
+    or_kind,
+)
+from repro.cells.library import Library, UnknownCellError, default_library
+
+__all__ = [
+    "GateKind",
+    "Cell",
+    "Library",
+    "UnknownCellError",
+    "default_library",
+    "logic_eval",
+    "is_inverting",
+    "num_inputs",
+    "nand_kind",
+    "nor_kind",
+    "and_kind",
+    "or_kind",
+]

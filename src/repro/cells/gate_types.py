@@ -1,0 +1,164 @@
+"""Gate kinds, their logic functions and structural properties.
+
+Every netlist element in the repository is one of these primitive kinds.
+The set covers the ISCAS'85 ``.bench`` vocabulary (AND/OR/NAND/NOR/XOR/
+XNOR/NOT/BUFF) so that real benchmark netlists parse directly, plus the
+wide NAND/NOR variants the paper's library characterisation uses.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+
+class GateKind(str, Enum):
+    """Primitive gate types known to the library."""
+
+    INV = "inv"
+    BUF = "buf"
+    NAND2 = "nand2"
+    NAND3 = "nand3"
+    NAND4 = "nand4"
+    NOR2 = "nor2"
+    NOR3 = "nor3"
+    NOR4 = "nor4"
+    AND2 = "and2"
+    AND3 = "and3"
+    AND4 = "and4"
+    OR2 = "or2"
+    OR3 = "or3"
+    OR4 = "or4"
+    XOR2 = "xor2"
+    XNOR2 = "xnor2"
+    AOI21 = "aoi21"
+    AOI22 = "aoi22"
+    OAI21 = "oai21"
+    OAI22 = "oai22"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Number of logic inputs per kind.
+_NUM_INPUTS = {
+    GateKind.INV: 1,
+    GateKind.BUF: 1,
+    GateKind.NAND2: 2,
+    GateKind.NAND3: 3,
+    GateKind.NAND4: 4,
+    GateKind.NOR2: 2,
+    GateKind.NOR3: 3,
+    GateKind.NOR4: 4,
+    GateKind.AND2: 2,
+    GateKind.AND3: 3,
+    GateKind.AND4: 4,
+    GateKind.OR2: 2,
+    GateKind.OR3: 3,
+    GateKind.OR4: 4,
+    GateKind.XOR2: 2,
+    GateKind.XNOR2: 2,
+    GateKind.AOI21: 3,
+    GateKind.AOI22: 4,
+    GateKind.OAI21: 3,
+    GateKind.OAI22: 4,
+}
+
+#: Kinds whose output polarity is the complement of the switching input.
+_INVERTING = {
+    GateKind.INV,
+    GateKind.NAND2,
+    GateKind.NAND3,
+    GateKind.NAND4,
+    GateKind.NOR2,
+    GateKind.NOR3,
+    GateKind.NOR4,
+    GateKind.XNOR2,
+    GateKind.AOI21,
+    GateKind.AOI22,
+    GateKind.OAI21,
+    GateKind.OAI22,
+}
+
+
+def num_inputs(kind: GateKind) -> int:
+    """Logic fan-in of ``kind``."""
+    return _NUM_INPUTS[kind]
+
+
+def is_inverting(kind: GateKind) -> bool:
+    """Whether a rising input edge produces a falling output edge.
+
+    XOR is treated as non-inverting and XNOR as inverting, i.e. the side
+    inputs are assumed low -- the convention used consistently by the path
+    timing engine when propagating edge polarity.
+    """
+    return kind in _INVERTING
+
+
+def logic_eval(kind: GateKind, inputs: Sequence[bool]) -> bool:
+    """Evaluate the boolean function of ``kind`` on ``inputs``."""
+    expected = num_inputs(kind)
+    if len(inputs) != expected:
+        raise ValueError(f"{kind} expects {expected} inputs, got {len(inputs)}")
+    if kind is GateKind.INV:
+        return not inputs[0]
+    if kind is GateKind.BUF:
+        return bool(inputs[0])
+    if kind in (GateKind.AND2, GateKind.AND3, GateKind.AND4):
+        return all(inputs)
+    if kind in (GateKind.NAND2, GateKind.NAND3, GateKind.NAND4):
+        return not all(inputs)
+    if kind in (GateKind.OR2, GateKind.OR3, GateKind.OR4):
+        return any(inputs)
+    if kind in (GateKind.NOR2, GateKind.NOR3, GateKind.NOR4):
+        return not any(inputs)
+    if kind is GateKind.XOR2:
+        return inputs[0] != inputs[1]
+    if kind is GateKind.XNOR2:
+        return inputs[0] == inputs[1]
+    if kind is GateKind.AOI21:
+        # NOT((a AND b) OR c)
+        return not ((inputs[0] and inputs[1]) or inputs[2])
+    if kind is GateKind.AOI22:
+        # NOT((a AND b) OR (c AND d))
+        return not ((inputs[0] and inputs[1]) or (inputs[2] and inputs[3]))
+    if kind is GateKind.OAI21:
+        # NOT((a OR b) AND c)
+        return not ((inputs[0] or inputs[1]) and inputs[2])
+    if kind is GateKind.OAI22:
+        # NOT((a OR b) AND (c OR d))
+        return not ((inputs[0] or inputs[1]) and (inputs[2] or inputs[3]))
+    raise ValueError(f"unknown gate kind {kind!r}")  # pragma: no cover
+
+
+def nand_kind(width: int) -> GateKind:
+    """The NAND kind of fan-in ``width`` (2..4)."""
+    try:
+        return {2: GateKind.NAND2, 3: GateKind.NAND3, 4: GateKind.NAND4}[width]
+    except KeyError:
+        raise ValueError(f"no NAND of width {width}") from None
+
+
+def nor_kind(width: int) -> GateKind:
+    """The NOR kind of fan-in ``width`` (2..4)."""
+    try:
+        return {2: GateKind.NOR2, 3: GateKind.NOR3, 4: GateKind.NOR4}[width]
+    except KeyError:
+        raise ValueError(f"no NOR of width {width}") from None
+
+
+def and_kind(width: int) -> GateKind:
+    """The AND kind of fan-in ``width`` (2..4)."""
+    try:
+        return {2: GateKind.AND2, 3: GateKind.AND3, 4: GateKind.AND4}[width]
+    except KeyError:
+        raise ValueError(f"no AND of width {width}") from None
+
+
+def or_kind(width: int) -> GateKind:
+    """The OR kind of fan-in ``width`` (2..4)."""
+    try:
+        return {2: GateKind.OR2, 3: GateKind.OR3, 4: GateKind.OR4}[width]
+    except KeyError:
+        raise ValueError(f"no OR of width {width}") from None

@@ -1,0 +1,120 @@
+"""Standard cell library: the characterised cell set of the 0.25 um flow.
+
+The default library mirrors the gate set the paper characterises (inverter,
+NAND2/3, NOR2/3 in Table 2) extended to the full ISCAS'85 vocabulary.
+Logical weights follow the series-array current-division argument of
+ref. [14]: an ``n``-high N stack divides the pull-down current by roughly
+``n`` (slightly less, because of body-effect relief on internal nodes), and
+the penalty lands on the HL edge for NANDs and -- amplified by ``R/k`` -- on
+the LH edge for NORs.  This is what makes NOR gates the least efficient
+(lowest ``Flimit``) in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.cells.cell import Cell
+from repro.cells.gate_types import GateKind
+from repro.process.technology import CMOS025, Technology
+
+
+class UnknownCellError(KeyError):
+    """Raised when a gate kind is not present in the library."""
+
+
+@dataclass(frozen=True)
+class Library:
+    """An immutable collection of characterised cells plus its technology."""
+
+    tech: Technology
+    cells: Mapping[GateKind, Cell] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if GateKind.INV not in self.cells:
+            raise ValueError("a library must at least contain an inverter")
+
+    def __contains__(self, kind: GateKind) -> bool:
+        return kind in self.cells
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.cells.values())
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def cell(self, kind: GateKind) -> Cell:
+        """Look up the cell for ``kind``; raise :class:`UnknownCellError`."""
+        try:
+            return self.cells[kind]
+        except KeyError:
+            raise UnknownCellError(f"no cell for gate kind {kind!r}") from None
+
+    @property
+    def inverter(self) -> Cell:
+        """The reference inverter."""
+        return self.cells[GateKind.INV]
+
+    @property
+    def cref(self) -> float:
+        """Minimum available drive ``CREF`` (fF): the minimum inverter input."""
+        return self.inverter.cin_min(self.tech)
+
+
+def _default_cells(k_ratio: float) -> Dict[GateKind, Cell]:
+    """Build the default cell set for a configuration ratio ``k``."""
+
+    def cell(kind, dw_hl, dw_lh, p, area=1.0, sn=1, sp=1):
+        return Cell(
+            kind=kind,
+            k_ratio=k_ratio,
+            dw_hl=dw_hl,
+            dw_lh=dw_lh,
+            p_intrinsic=p,
+            area_factor=area,
+            stack_n=sn,
+            stack_p=sp,
+        )
+
+    # Logical weights: n-stack ~ 1 + 0.85*(n-1) on the stacked edge with a
+    # small cross-penalty on the parallel edge (internal node loading).
+    # Area factors of stacked cells reflect the layout reality that series
+    # devices are widened to recover part of the stack's drive loss; the
+    # P stacks of NORs pay roughly R times more silicon for it than the
+    # N stacks of NANDs -- the physical root of the Table 4 area gains.
+    return {
+        GateKind.INV: cell(GateKind.INV, 1.00, 1.00, 0.61),
+        GateKind.BUF: cell(GateKind.BUF, 1.35, 1.35, 0.95, area=1.45),
+        GateKind.NAND2: cell(GateKind.NAND2, 1.85, 1.20, 0.78, area=1.10, sn=2),
+        GateKind.NAND3: cell(GateKind.NAND3, 2.70, 1.40, 0.95, area=1.18, sn=3),
+        GateKind.NAND4: cell(GateKind.NAND4, 3.55, 1.60, 1.12, area=1.25, sn=4),
+        GateKind.NOR2: cell(GateKind.NOR2, 1.20, 1.85, 0.82, area=1.30, sp=2),
+        GateKind.NOR3: cell(GateKind.NOR3, 1.40, 2.70, 1.00, area=1.55, sp=3),
+        GateKind.NOR4: cell(GateKind.NOR4, 1.60, 3.55, 1.20, area=1.80, sp=4),
+        GateKind.AND2: cell(GateKind.AND2, 1.55, 1.45, 1.00, area=1.30, sn=2),
+        GateKind.AND3: cell(GateKind.AND3, 2.10, 1.60, 1.15, area=1.25, sn=3),
+        GateKind.AND4: cell(GateKind.AND4, 2.70, 1.75, 1.30, area=1.22, sn=4),
+        GateKind.OR2: cell(GateKind.OR2, 1.45, 1.70, 1.00, area=1.30, sp=2),
+        GateKind.OR3: cell(GateKind.OR3, 1.60, 2.25, 1.15, area=1.25, sp=3),
+        GateKind.OR4: cell(GateKind.OR4, 1.75, 2.85, 1.30, area=1.22, sp=4),
+        GateKind.XOR2: cell(GateKind.XOR2, 2.30, 2.30, 1.30, area=1.60, sn=2, sp=2),
+        GateKind.XNOR2: cell(GateKind.XNOR2, 2.30, 2.30, 1.30, area=1.60, sn=2, sp=2),
+        # Complex AOI/OAI gates: 2-high stacks on both networks, with the
+        # OAI variants paying the series-P penalty on the rising edge.
+        GateKind.AOI21: cell(GateKind.AOI21, 1.95, 1.95, 1.00, sn=2, sp=2),
+        GateKind.AOI22: cell(GateKind.AOI22, 2.05, 2.15, 1.18, sn=2, sp=2),
+        GateKind.OAI21: cell(GateKind.OAI21, 1.70, 2.25, 1.00, sn=2, sp=2),
+        GateKind.OAI22: cell(GateKind.OAI22, 1.85, 2.45, 1.18, sn=2, sp=2),
+    }
+
+
+def default_library(tech: Optional[Technology] = None, k_ratio: float = 2.0) -> Library:
+    """The default characterised library for ``tech`` (0.25 um if omitted).
+
+    ``k_ratio`` is the P/N width ratio applied uniformly; 2.0 is the usual
+    compromise between rising-edge speed and input capacitance at 0.25 um.
+    """
+    if tech is None:
+        tech = CMOS025
+    return Library(tech=tech, cells=_default_cells(k_ratio))

@@ -1,0 +1,195 @@
+"""``pops`` command-line interface.
+
+Subcommands mirror the protocol steps:
+
+* ``pops characterize``             -- library Flimit table (Table 2 style)
+* ``pops bounds <benchmark>``       -- Tmin/Tmax of the critical path
+* ``pops optimize <benchmark>``     -- run the Fig. 7 protocol at a Tc
+* ``pops benchmarks``               -- list the registered circuits
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.buffering.flimit import TABLE2_GATES, characterize_library
+from repro.cells.gate_types import GateKind
+from repro.cells.library import default_library
+from repro.iscas.loader import benchmark_names, load_benchmark
+from repro.protocol.optimizer import optimize_path
+from repro.protocol.report import format_table
+from repro.sizing.bounds import delay_bounds
+from repro.timing.critical_paths import critical_path
+from repro.timing.report import timing_report
+
+
+def _cmd_benchmarks(_: argparse.Namespace) -> int:
+    library = default_library()
+    rows = []
+    for name in benchmark_names():
+        circuit = load_benchmark(name)
+        stats = circuit.stats()
+        rows.append((name, stats["total_gates"], stats["inputs"], stats["depth"]))
+    print(format_table(("circuit", "gates", "inputs", "depth"), rows))
+    del library
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    library = default_library()
+    entries = characterize_library(
+        library, gates=TABLE2_GATES, with_simulation=args.simulate
+    )
+    rows = []
+    for entry in entries:
+        rows.append(
+            (
+                entry.driver.value,
+                entry.gate.value,
+                entry.computed,
+                entry.simulated if entry.simulated is not None else "-",
+            )
+        )
+    print(
+        format_table(
+            ("driver", "gate", "Flimit (calc)", "Flimit (sim)"),
+            rows,
+            title="Library characterization (paper Table 2)",
+        )
+    )
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    library = default_library()
+    circuit = load_benchmark(args.benchmark, bench_dir=args.bench_dir)
+    extracted = critical_path(circuit, library)
+    bounds = delay_bounds(extracted.path, library)
+    print(f"benchmark        : {args.benchmark}")
+    print(f"critical path    : {len(extracted.gate_names)} gates")
+    print(f"Tmax (min area)  : {bounds.tmax_ps:.1f} ps")
+    print(f"Tmin             : {bounds.tmin_ps:.1f} ps")
+    print(f"area at Tmax     : {bounds.area_tmax_um:.1f} um")
+    print(f"area at Tmin     : {bounds.area_tmin_um:.1f} um")
+    print(f"eq.4 iterations  : {bounds.iterations}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    library = default_library()
+    circuit = load_benchmark(args.benchmark, bench_dir=args.bench_dir)
+    extracted = critical_path(circuit, library)
+    bounds = delay_bounds(extracted.path, library)
+    tc = args.tc_ps if args.tc_ps is not None else args.tc_ratio * bounds.tmin_ps
+    outcome = optimize_path(extracted.path, library, tc)
+    print(f"benchmark   : {args.benchmark}")
+    print(f"Tmin        : {bounds.tmin_ps:.1f} ps")
+    print(f"Tc          : {tc:.1f} ps ({tc / bounds.tmin_ps:.2f} x Tmin)")
+    print(f"domain      : {outcome.domain.domain}")
+    print(f"method      : {outcome.method}")
+    print(f"delay       : {outcome.delay_ps:.1f} ps (slack {outcome.slack_ps:.1f})")
+    print(f"area (sumW) : {outcome.area_um:.1f} um")
+    print(f"feasible    : {outcome.feasible}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    library = default_library()
+    circuit = load_benchmark(args.benchmark, bench_dir=args.bench_dir)
+    from repro.timing.sta import analyze
+
+    sta = analyze(circuit, library)
+    tc = args.tc_ps if args.tc_ps is not None else 1.1 * sta.critical_delay_ps
+    report = timing_report(circuit, library, tc, k_paths=args.paths, sta=sta)
+    print(report.render())
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.analysis.activity import estimate_activity
+    from repro.analysis.area import circuit_area_um
+    from repro.analysis.power import estimate_power
+
+    library = default_library()
+    circuit = load_benchmark(args.benchmark, bench_dir=args.bench_dir)
+    activity = estimate_activity(circuit, n_vectors=args.vectors)
+    report = estimate_power(circuit, library, frequency_mhz=args.frequency,
+                            activity=activity)
+    print(f"benchmark        : {args.benchmark}")
+    print(f"area (sum W)     : {circuit_area_um(circuit, library):.1f} um")
+    print(f"mean activity    : {activity.mean_rate:.3f} toggles/vector")
+    print(f"dynamic power    : {report.dynamic_uw:.2f} uW @ {args.frequency} MHz")
+    print(f"short-circuit    : {report.short_circuit_uw:.2f} uW")
+    print(f"total            : {report.total_uw:.2f} uW")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``pops`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="pops",
+        description="POPS low-power CMOS circuit optimization protocol (DATE'05)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("benchmarks", help="list registered benchmark circuits")
+
+    p_char = sub.add_parser("characterize", help="library Flimit table")
+    p_char.add_argument(
+        "--simulate",
+        action="store_true",
+        help="also derive Flimit from the transistor-level simulator (slow)",
+    )
+
+    p_bounds = sub.add_parser("bounds", help="critical path delay bounds")
+    p_bounds.add_argument("benchmark", help="benchmark name (see 'benchmarks')")
+    p_bounds.add_argument("--bench-dir", default=None, help="real .bench directory")
+
+    p_opt = sub.add_parser("optimize", help="run the optimization protocol")
+    p_opt.add_argument("benchmark")
+    p_opt.add_argument("--bench-dir", default=None, help="real .bench directory")
+    group = p_opt.add_mutually_exclusive_group()
+    group.add_argument("--tc-ps", type=float, default=None, help="constraint in ps")
+    group.add_argument(
+        "--tc-ratio",
+        type=float,
+        default=1.5,
+        help="constraint as a multiple of Tmin (default 1.5)",
+    )
+
+    p_report = sub.add_parser("report", help="STA timing report")
+    p_report.add_argument("benchmark")
+    p_report.add_argument("--bench-dir", default=None)
+    p_report.add_argument("--tc-ps", type=float, default=None)
+    p_report.add_argument("--paths", type=int, default=3)
+
+    p_power = sub.add_parser("power", help="area / activity / power report")
+    p_power.add_argument("benchmark")
+    p_power.add_argument("--bench-dir", default=None)
+    p_power.add_argument("--frequency", type=float, default=100.0,
+                         help="clock frequency in MHz")
+    p_power.add_argument("--vectors", type=int, default=128,
+                         help="random vectors for activity estimation")
+    return parser
+
+
+_COMMANDS = {
+    "benchmarks": _cmd_benchmarks,
+    "characterize": _cmd_characterize,
+    "bounds": _cmd_bounds,
+    "optimize": _cmd_optimize,
+    "report": _cmd_report,
+    "power": _cmd_power,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

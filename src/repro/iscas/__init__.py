@@ -1,0 +1,15 @@
+"""Benchmark suite: the paper's ISCAS'85 circuits and stand-ins."""
+
+from repro.iscas.generator import generate_circuit
+from repro.iscas.loader import benchmark_names, load_benchmark
+from repro.iscas.profiles import PAPER_ORDER, PROFILES, BenchmarkProfile, profile
+
+__all__ = [
+    "BenchmarkProfile",
+    "PROFILES",
+    "PAPER_ORDER",
+    "profile",
+    "generate_circuit",
+    "load_benchmark",
+    "benchmark_names",
+]

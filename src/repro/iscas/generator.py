@@ -1,0 +1,139 @@
+"""Seeded synthetic ISCAS-like circuit generator.
+
+The protocol under study operates on *extracted bounded paths*; what
+matters about a benchmark is (a) the length and gate-type mix of its
+critical path, (b) the off-path fan-out loading along it, and (c) the
+amount of surrounding logic.  The generator builds circuits with exactly
+those knobs:
+
+* a **spine** -- a chain of ``path_gates`` gates drawn from a seeded kind
+  mix, guaranteed (by construction) to be the deepest path;
+* **side logic** -- shallow input trees feeding the spine's side pins;
+* **filler fan-out** -- small gate clusters hanging off spine nodes, which
+  both load the spine (creating the overloaded nodes buffer insertion
+  targets) and bring the total gate count up to the real circuit's size.
+
+Everything is driven by :class:`~repro.iscas.profiles.BenchmarkProfile`
+and a deterministic ``numpy`` generator, so each named benchmark is fully
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.cells.gate_types import GateKind, num_inputs
+from repro.iscas.profiles import BenchmarkProfile
+from repro.netlist.circuit import Circuit
+
+#: Spine kind mix (weights are renormalised after the NOR share is set).
+_SPINE_KINDS = (
+    GateKind.INV,
+    GateKind.NAND2,
+    GateKind.NAND3,
+    GateKind.AND2,
+    GateKind.OR2,
+    GateKind.XOR2,
+)
+_SPINE_WEIGHTS = (0.34, 0.27, 0.10, 0.12, 0.09, 0.08)
+
+_FILLER_KINDS = (
+    GateKind.INV,
+    GateKind.NAND2,
+    GateKind.NOR2,
+    GateKind.AND2,
+    GateKind.OR2,
+)
+_FILLER_WEIGHTS = (0.30, 0.28, 0.16, 0.14, 0.12)
+
+
+def _choose_spine_kinds(
+    rng: np.random.Generator, length: int, nor_fraction: float
+) -> List[GateKind]:
+    """Draw the spine gate kinds; NORs are injected at the requested rate."""
+    base = rng.choice(len(_SPINE_KINDS), size=length, p=np.array(_SPINE_WEIGHTS))
+    kinds: List[GateKind] = [_SPINE_KINDS[i] for i in base]
+    n_nor = int(round(nor_fraction * length))
+    if n_nor:
+        positions = rng.choice(length, size=min(n_nor, length), replace=False)
+        for pos in positions:
+            kinds[pos] = GateKind.NOR2 if rng.random() < 0.75 else GateKind.NOR3
+    # The last spine gate drives the primary output; keep it simple.
+    kinds[-1] = GateKind.INV if kinds[-1] is GateKind.XOR2 else kinds[-1]
+    return kinds
+
+
+def generate_circuit(prof: BenchmarkProfile) -> Circuit:
+    """Build the synthetic benchmark described by ``prof``."""
+    rng = np.random.default_rng(prof.seed)
+    circuit = Circuit(prof.name)
+
+    n_inputs = max(8, prof.total_gates // 12)
+    inputs = [circuit.add_input(f"i{j}") for j in range(n_inputs)]
+
+    spine_kinds = _choose_spine_kinds(rng, prof.path_gates, prof.nor_fraction)
+
+    # Shallow side nets: single gates on primary inputs, depth 1, so the
+    # spine is always the unique deepest chain.
+    side_pool: List[str] = list(inputs)
+    n_side = max(4, prof.path_gates // 2)
+    for j in range(n_side):
+        kind = _FILLER_KINDS[rng.integers(len(_FILLER_KINDS))]
+        fanin = [inputs[rng.integers(n_inputs)] for _ in range(num_inputs(kind))]
+        net = circuit.add_gate(f"sd{j}", kind, fanin).name
+        side_pool.append(net)
+
+    # The spine itself.
+    previous = inputs[0]
+    spine: List[str] = []
+    for position, kind in enumerate(spine_kinds):
+        fanin = [previous]
+        for _ in range(num_inputs(kind) - 1):
+            fanin.append(side_pool[rng.integers(len(side_pool))])
+        net = circuit.add_gate(f"sp{position}", kind, fanin).name
+        spine.append(net)
+        previous = net
+    circuit.add_output(previous)
+
+    # Filler fan-out clusters: load the spine according to the profile.
+    remaining = max(prof.total_gates - len(circuit), 0)
+    filler_id = 0
+    spine_loads = rng.poisson(lam=prof.heavy_fanout, size=len(spine))
+    # A few deliberately overloaded nodes (the Table 2/3 targets).
+    n_hot = max(1, len(spine) // 8)
+    hot_positions = rng.choice(len(spine) - 1, size=n_hot, replace=False)
+    for pos in hot_positions:
+        spine_loads[pos] += int(2 + 3 * prof.heavy_fanout)
+
+    for position, load in enumerate(spine_loads):
+        for _ in range(int(load)):
+            if remaining <= 0:
+                break
+            kind = _FILLER_KINDS[rng.integers(len(_FILLER_KINDS))]
+            fanin = [spine[position]]
+            for _ in range(num_inputs(kind) - 1):
+                fanin.append(side_pool[rng.integers(len(side_pool))])
+            net = circuit.add_gate(f"fl{filler_id}", kind, fanin).name
+            filler_id += 1
+            remaining -= 1
+            if rng.random() < 0.3:
+                circuit.add_output(net)
+
+    # Bulk filler off primary inputs / side nets, to reach the target size
+    # without deepening anything.
+    bulk_pool = list(side_pool)
+    while remaining > 0:
+        kind = _FILLER_KINDS[rng.integers(len(_FILLER_KINDS))]
+        fanin = [bulk_pool[rng.integers(len(bulk_pool))] for _ in range(num_inputs(kind))]
+        net = circuit.add_gate(f"bk{filler_id}", kind, fanin).name
+        filler_id += 1
+        remaining -= 1
+        if rng.random() < 0.15:
+            circuit.add_output(net)
+
+    if not circuit.outputs:
+        circuit.add_output(spine[-1])
+    circuit.validate()
+    return circuit

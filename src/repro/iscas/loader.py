@@ -1,0 +1,54 @@
+"""Benchmark loading: exact builders, synthetic generator, ``.bench`` files.
+
+``load_benchmark("c432")`` returns the synthetic stand-in; pointing
+``bench_dir`` at a directory of real ISCAS'85 ``.bench`` files transparently
+upgrades every experiment to the original netlists.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import List, Optional
+
+from repro.iscas.generator import generate_circuit
+from repro.iscas.profiles import PAPER_ORDER, PROFILES, profile
+from repro.netlist.bench_parser import load_bench
+from repro.netlist.builders import ripple_carry_adder
+from repro.netlist.circuit import Circuit
+
+
+def benchmark_names() -> List[str]:
+    """All registered benchmark names in the paper's figure order."""
+    ordered = [name for name in PAPER_ORDER]
+    extras = sorted(set(PROFILES) - set(PAPER_ORDER))
+    return ordered + extras
+
+
+@lru_cache(maxsize=None)
+def _cached_benchmark(name: str) -> Circuit:
+    prof = profile(name)
+    if not prof.synthetic:
+        if name != "adder16":
+            raise ValueError(f"no exact builder registered for {name!r}")
+        return ripple_carry_adder(16, name="adder16")
+    return generate_circuit(prof)
+
+
+def load_benchmark(name: str, bench_dir: Optional[str] = None) -> Circuit:
+    """Load a benchmark circuit by paper name.
+
+    Parameters
+    ----------
+    bench_dir:
+        Optional directory containing real ``<name>.bench`` netlists;
+        when present the real netlist is parsed instead of the synthetic
+        stand-in.
+
+    Returns a fresh copy -- callers may freely mutate sizing state.
+    """
+    if bench_dir is not None:
+        candidate = os.path.join(bench_dir, f"{name}.bench")
+        if os.path.exists(candidate):
+            return load_bench(candidate)
+    return _cached_benchmark(name).copy()

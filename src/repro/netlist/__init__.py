@@ -1,0 +1,56 @@
+"""Netlist substrate: circuit DAGs, ``.bench`` I/O, structural builders."""
+
+from repro.netlist.bench_parser import (
+    BenchParseError,
+    load_bench,
+    parse_bench,
+    to_bench,
+)
+from repro.netlist.builders import (
+    adder_inputs,
+    adder_value,
+    and_or_tree,
+    gate_chain,
+    inverter_chain,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.netlist.wireload import (
+    WLM_LARGE,
+    WLM_MEDIUM,
+    WLM_SMALL,
+    WireLoadModel,
+)
+from repro.netlist.circuit import (
+    Circuit,
+    GateInstance,
+    NetlistError,
+    equivalent,
+    exhaustive_vectors,
+)
+
+__all__ = [
+    "Circuit",
+    "GateInstance",
+    "NetlistError",
+    "equivalent",
+    "exhaustive_vectors",
+    "parse_bench",
+    "load_bench",
+    "to_bench",
+    "BenchParseError",
+    "inverter_chain",
+    "gate_chain",
+    "ripple_carry_adder",
+    "full_adder_nand",
+    "adder_inputs",
+    "adder_value",
+    "parity_tree",
+    "and_or_tree",
+    "WireLoadModel",
+    "WLM_SMALL",
+    "WLM_MEDIUM",
+    "WLM_LARGE",
+]
+
+from repro.netlist.builders import full_adder_nand  # noqa: E402  (re-export)

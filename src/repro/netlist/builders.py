@@ -1,0 +1,163 @@
+"""Structural circuit builders: chains, trees, full adders, multipliers.
+
+These produce the deterministic workloads of the experiment suite -- most
+importantly the NAND-level 16-bit ripple-carry adder ("Adder16" in the
+paper's tables, with its ~99-gate carry-to-sum critical path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cells.gate_types import GateKind
+from repro.netlist.circuit import Circuit
+
+
+def inverter_chain(length: int, name: str = "invchain") -> Circuit:
+    """A chain of ``length`` inverters -- the Mead/Sutherland toy path."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    circuit = Circuit(name)
+    previous = circuit.add_input("in")
+    for i in range(length):
+        net = f"n{i}"
+        circuit.add_gate(net, GateKind.INV, [previous])
+        previous = net
+    circuit.add_output(previous)
+    circuit.validate()
+    return circuit
+
+
+def gate_chain(kinds: Sequence[GateKind], name: str = "chain") -> Circuit:
+    """A chain where stage ``i`` takes the previous net plus side inputs.
+
+    Multi-input gates receive dedicated primary inputs on their non-path
+    pins, so the chain is a clean single sensitisable path.
+    """
+    if not kinds:
+        raise ValueError("kinds must be non-empty")
+    circuit = Circuit(name)
+    previous = circuit.add_input("in")
+    from repro.cells.gate_types import num_inputs
+
+    for i, kind in enumerate(kinds):
+        n = num_inputs(kind)
+        fanin = [previous]
+        for pin in range(1, n):
+            side = circuit.add_input(f"s{i}_{pin}")
+            fanin.append(side)
+        net = f"n{i}"
+        circuit.add_gate(net, kind, fanin)
+        previous = net
+    circuit.add_output(previous)
+    circuit.validate()
+    return circuit
+
+
+def full_adder_nand(
+    circuit: Circuit, a: str, b: str, cin: str, prefix: str
+) -> Tuple[str, str]:
+    """Classic 9-NAND full adder; returns ``(sum, carry_out)`` nets.
+
+    The 9-NAND decomposition keeps the carry chain 3 NAND stages deep per
+    bit, which is what gives the 16-bit ripple adder its ~99-gate critical
+    path in the paper's Table 1 accounting (sum network included).
+    """
+    g = lambda suffix, kind, fanin: circuit.add_gate(
+        f"{prefix}_{suffix}", kind, fanin
+    ).name
+    n1 = g("n1", GateKind.NAND2, [a, b])
+    n2 = g("n2", GateKind.NAND2, [a, n1])
+    n3 = g("n3", GateKind.NAND2, [b, n1])
+    half_sum = g("hs", GateKind.NAND2, [n2, n3])  # a XOR b
+    n5 = g("n5", GateKind.NAND2, [half_sum, cin])
+    n6 = g("n6", GateKind.NAND2, [half_sum, n5])
+    n7 = g("n7", GateKind.NAND2, [cin, n5])
+    total = g("sum", GateKind.NAND2, [n6, n7])  # (a XOR b) XOR cin
+    carry = g("cout", GateKind.NAND2, [n1, n5])
+    return total, carry
+
+
+def ripple_carry_adder(bits: int = 16, name: Optional[str] = None) -> Circuit:
+    """NAND-level ripple-carry adder (the paper's "Adder16" for 16 bits)."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    circuit = Circuit(name or f"adder{bits}")
+    a_bits = [circuit.add_input(f"a{i}") for i in range(bits)]
+    b_bits = [circuit.add_input(f"b{i}") for i in range(bits)]
+    carry = circuit.add_input("cin")
+    for i in range(bits):
+        total, carry = full_adder_nand(circuit, a_bits[i], b_bits[i], carry, f"fa{i}")
+        circuit.add_output(total)
+    circuit.add_output(carry)
+    circuit.validate()
+    return circuit
+
+
+def adder_value(outputs, bits: int) -> int:
+    """Decode a ripple adder's output dict into an integer (sum + carry)."""
+    total = 0
+    for i in range(bits):
+        if outputs[f"fa{i}_sum"]:
+            total |= 1 << i
+    if outputs[f"fa{bits - 1}_cout"]:
+        total |= 1 << bits
+    return total
+
+
+def adder_inputs(a: int, b: int, bits: int, cin: bool = False) -> dict:
+    """Encode two integers into a ripple adder input vector."""
+    if a < 0 or b < 0 or a >= (1 << bits) or b >= (1 << bits):
+        raise ValueError("operands out of range")
+    vector = {"cin": cin}
+    for i in range(bits):
+        vector[f"a{i}"] = bool((a >> i) & 1)
+        vector[f"b{i}"] = bool((b >> i) & 1)
+    return vector
+
+
+def parity_tree(width: int, name: Optional[str] = None) -> Circuit:
+    """XOR parity tree -- a deep non-inverting workload for the STA tests."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    circuit = Circuit(name or f"parity{width}")
+    nets: List[str] = [circuit.add_input(f"x{i}") for i in range(width)]
+    counter = 0
+    while len(nets) > 1:
+        paired: List[str] = []
+        for i in range(0, len(nets) - 1, 2):
+            net = f"p{counter}"
+            counter += 1
+            circuit.add_gate(net, GateKind.XOR2, [nets[i], nets[i + 1]])
+            paired.append(net)
+        if len(nets) % 2:
+            paired.append(nets[-1])
+        nets = paired
+    circuit.add_output(nets[0])
+    circuit.validate()
+    return circuit
+
+
+def and_or_tree(width: int, name: Optional[str] = None) -> Circuit:
+    """Alternating NAND/NOR reduction tree (classic multiplexer-ish shape)."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    circuit = Circuit(name or f"aotree{width}")
+    nets: List[str] = [circuit.add_input(f"x{i}") for i in range(width)]
+    counter = 0
+    level = 0
+    while len(nets) > 1:
+        kind = GateKind.NAND2 if level % 2 == 0 else GateKind.NOR2
+        paired: List[str] = []
+        for i in range(0, len(nets) - 1, 2):
+            net = f"t{counter}"
+            counter += 1
+            circuit.add_gate(net, kind, [nets[i], nets[i + 1]])
+            paired.append(net)
+        if len(nets) % 2:
+            paired.append(nets[-1])
+        nets = paired
+        level += 1
+    circuit.add_output(nets[0])
+    circuit.validate()
+    return circuit

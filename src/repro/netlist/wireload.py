@@ -1,0 +1,60 @@
+"""Fan-out based wire load models.
+
+The paper's introduction singles out "the uncertainty in routing
+capacitance estimation" as what forces iterative flows into oversized
+designs.  Pre-layout, the standard estimate is a *wire load model*: a
+lumped capacitance per net as a function of its fan-out count.  The STA
+engine accepts one so every experiment can be re-run with routing
+parasitics included, and the variation module can perturb them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WireLoadModel:
+    """Lumped wire capacitance per net: ``c_base + c_per_fanout * n``.
+
+    Attributes
+    ----------
+    name:
+        Identifier (e.g. the die-area class it was characterised for).
+    c_base_ff:
+        Minimum wiring (via + short stub) capacitance of any routed net.
+    c_per_fanout_ff:
+        Incremental capacitance per fan-out pin (longer wire, more taps).
+    """
+
+    name: str
+    c_base_ff: float
+    c_per_fanout_ff: float
+
+    def __post_init__(self) -> None:
+        if self.c_base_ff < 0 or self.c_per_fanout_ff < 0:
+            raise ValueError("wire load coefficients must be non-negative")
+
+    def wire_cap_ff(self, n_fanout: int) -> float:
+        """Estimated routing capacitance of a net with ``n_fanout`` sinks."""
+        if n_fanout < 0:
+            raise ValueError("n_fanout must be non-negative")
+        if n_fanout == 0:
+            return 0.0
+        return self.c_base_ff + self.c_per_fanout_ff * n_fanout
+
+    def scaled(self, factor: float) -> "WireLoadModel":
+        """A pessimism/optimism corner of this model."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return WireLoadModel(
+            name=f"{self.name}*{factor:g}",
+            c_base_ff=self.c_base_ff * factor,
+            c_per_fanout_ff=self.c_per_fanout_ff * factor,
+        )
+
+
+#: Typical pre-layout classes for a 0.25 um process (block-level scale).
+WLM_SMALL = WireLoadModel("small", c_base_ff=1.5, c_per_fanout_ff=1.0)
+WLM_MEDIUM = WireLoadModel("medium", c_base_ff=3.0, c_per_fanout_ff=2.0)
+WLM_LARGE = WireLoadModel("large", c_base_ff=6.0, c_per_fanout_ff=4.0)

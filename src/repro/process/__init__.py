@@ -1,0 +1,32 @@
+"""Process-level substrate: technology descriptors and transistor models.
+
+The paper evaluates on an (unnamed) industrial 0.25 um CMOS process.  We
+substitute a parametric :class:`~repro.process.technology.Technology`
+descriptor calibrated to public 0.25 um numbers, plus a Sakurai--Newton
+alpha-power MOSFET model used by the transistor-level reference simulator
+(:mod:`repro.spice`).
+"""
+
+from repro.process.technology import CMOS025, CMOS018, CMOS013, Technology
+from repro.process.transistor import (
+    MosfetParams,
+    drain_current,
+    nmos_for,
+    pmos_for,
+    saturation_voltage,
+)
+from repro.process.calibration import CalibrationResult, calibrate_tau_and_r
+
+__all__ = [
+    "Technology",
+    "CMOS025",
+    "CMOS018",
+    "CMOS013",
+    "MosfetParams",
+    "drain_current",
+    "saturation_voltage",
+    "nmos_for",
+    "pmos_for",
+    "calibrate_tau_and_r",
+    "CalibrationResult",
+]

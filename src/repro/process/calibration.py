@@ -1,0 +1,117 @@
+"""Calibration of the closed-form model constants from device physics.
+
+The paper calibrates ``tau`` and ``R`` from SPICE on the target process
+(ref. [14], Maurine et al., TCAD 2002).  We mirror that flow: given the
+alpha-power device parameters, recover the effective ``tau`` and ``R``
+seen by the linear transition-time model (eq. 2), so the analytical and
+transistor-level halves of the repository agree by construction.
+
+This module is deliberately independent of :mod:`repro.spice` (which would
+be a circular import); it uses the same device equations directly on the
+canonical step-response integral of an inverter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.process.technology import Technology
+from repro.process.transistor import MosfetParams, drain_current, nmos_for, pmos_for
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a ``tau``/``R`` extraction.
+
+    Attributes
+    ----------
+    tau_ps:
+        Extracted process time unit (ps).
+    r_ratio:
+        Extracted N/P current ratio.
+    tau_model_ps:
+        The value carried by the technology descriptor, for comparison.
+    r_model:
+        The descriptor's ``R``, for comparison.
+    """
+
+    tau_ps: float
+    r_ratio: float
+    tau_model_ps: float
+    r_model: float
+
+    @property
+    def tau_error(self) -> float:
+        """Relative mismatch between extracted and descriptor ``tau``."""
+        return abs(self.tau_ps - self.tau_model_ps) / self.tau_model_ps
+
+    @property
+    def r_error(self) -> float:
+        """Relative mismatch between extracted and descriptor ``R``."""
+        return abs(self.r_ratio - self.r_model) / self.r_model
+
+
+def _step_discharge_time(
+    params: MosfetParams,
+    width_um: float,
+    cap_ff: float,
+    vdd: float,
+    v_from: float,
+    v_to: float,
+    n_steps: int = 400,
+) -> float:
+    """Time (ps) for the device to move the node from ``v_from`` to ``v_to``.
+
+    Integrates ``t = C * integral dV / I(V)`` with the gate held at full
+    overdrive (step input), using the trapezoidal rule.  ``v_from`` and
+    ``v_to`` are node voltages referenced so that ``vds`` = node voltage.
+    """
+    if v_from <= v_to:
+        raise ValueError("v_from must exceed v_to for a discharge integral")
+    volts = np.linspace(v_from, v_to, n_steps)
+    currents = np.array([drain_current(params, width_um, vdd, max(v, 1e-9)) for v in volts])
+    inv_i = 1.0 / np.maximum(currents, 1e-12)
+    # fF * V / mA = ps.  (numpy 2 renamed trapz -> trapezoid.)
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    return float(cap_ff * trapezoid(inv_i, -volts))
+
+
+def calibrate_tau_and_r(tech: Technology, fanout: float = 4.0) -> CalibrationResult:
+    """Extract ``tau`` and ``R`` from the alpha-power devices.
+
+    Mirrors the paper's calibration: the output transition time of an
+    inverter under a fast input is ``tau_out = S * tau * C_L / C_IN`` with
+    ``S_HL = (1 + k) / 2`` for an inverter (see
+    :meth:`repro.cells.cell.Cell.s_hl`).  We simulate the 80%-20% step
+    discharge of a fanout-``fanout`` inverter, convert to a full-swing
+    equivalent transition, and invert the formula for ``tau``.  ``R`` is
+    read directly off the device saturation currents.
+    """
+    if fanout <= 0:
+        raise ValueError(f"fanout must be positive, got {fanout}")
+    nmos = nmos_for(tech)
+    pmos = pmos_for(tech)
+    k = 2.0  # canonical inverter P/N ratio used by the default library
+    wn = 2.0  # um; arbitrary, cancels out
+    wp = k * wn
+    cin = tech.cin_for_width(wn + wp)
+    cload = fanout * cin
+
+    # 80 -> 20 % discharge through the NMOS, extrapolated to full swing.
+    t_80_20 = _step_discharge_time(nmos, wn, cload, tech.vdd, 0.8 * tech.vdd, 0.2 * tech.vdd)
+    tau_out_hl = t_80_20 / 0.6
+    s_hl = (1.0 + k) / 2.0
+    tau_ps = tau_out_hl / (s_hl * (cload / cin))
+
+    i_n = drain_current(nmos, 1.0, tech.vdd, tech.vdd)
+    i_p = drain_current(pmos, 1.0, tech.vdd, tech.vdd)
+    r_ratio = i_n / i_p
+
+    return CalibrationResult(
+        tau_ps=tau_ps,
+        r_ratio=r_ratio,
+        tau_model_ps=tech.tau_ps,
+        r_model=tech.r_ratio,
+    )

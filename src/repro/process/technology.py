@@ -1,0 +1,158 @@
+"""Technology descriptors for the closed-form delay model and the simulator.
+
+The paper's delay model (eqs. 1-3) is parameterised by a handful of
+process-level constants:
+
+* ``tau_ps`` -- the process time unit :math:`\\tau` that scales every
+  transition time (eq. 2).
+* ``r_ratio`` -- ``R``, the ratio of the current available in an N
+  transistor to that of a P transistor of identical width.
+* ``vtn`` / ``vtp`` -- threshold voltages, entering the delay through the
+  reduced values ``v_T = V_T / V_DD`` (eq. 1).
+* capacitance densities used to convert between input capacitance (the
+  sizing variable) and transistor widths (the area/power metric ``sum W``).
+
+The default :data:`CMOS025` instance is calibrated to public 0.25 um
+numbers (VDD = 2.5 V, VT = 0.5 V).  Absolute picoseconds differ from the
+authors' foundry kit, but every metric the paper reports is a ratio, so the
+reproduction only depends on the model structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Immutable bundle of process constants.
+
+    Attributes
+    ----------
+    name:
+        Human readable identifier, e.g. ``"cmos025"``.
+    vdd:
+        Supply voltage in volts.
+    vtn:
+        NMOS threshold voltage in volts (positive).
+    vtp:
+        PMOS threshold voltage magnitude in volts (positive).
+    tau_ps:
+        Process time unit :math:`\\tau` in picoseconds.  It characterises
+        the intrinsic switching speed of the process (eq. 2 of the paper).
+    r_ratio:
+        ``R`` -- N over P current ratio for identical width and load.
+    c_gate_ff_per_um:
+        Gate (input) capacitance per micron of transistor width, in fF/um.
+    c_junction_ff_per_um:
+        Drain junction (parasitic output) capacitance per micron, in fF/um.
+    w_min_um:
+        Minimum drawn transistor width in microns.  Sets the minimum
+        available drive ``CREF`` together with the cell geometry.
+    mobility_exponent:
+        Alpha of the Sakurai--Newton alpha-power law used by the
+        transistor-level simulator (velocity saturation index).
+    """
+
+    name: str
+    vdd: float
+    vtn: float
+    vtp: float
+    tau_ps: float
+    r_ratio: float
+    c_gate_ff_per_um: float
+    c_junction_ff_per_um: float
+    w_min_um: float
+    mobility_exponent: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {self.vdd}")
+        if not 0 < self.vtn < self.vdd:
+            raise ValueError(f"vtn must lie in (0, vdd), got {self.vtn}")
+        if not 0 < self.vtp < self.vdd:
+            raise ValueError(f"vtp must lie in (0, vdd), got {self.vtp}")
+        if self.tau_ps <= 0:
+            raise ValueError(f"tau_ps must be positive, got {self.tau_ps}")
+        if self.r_ratio <= 0:
+            raise ValueError(f"r_ratio must be positive, got {self.r_ratio}")
+        if self.c_gate_ff_per_um <= 0:
+            raise ValueError("c_gate_ff_per_um must be positive")
+        if self.c_junction_ff_per_um < 0:
+            raise ValueError("c_junction_ff_per_um must be non-negative")
+        if self.w_min_um <= 0:
+            raise ValueError("w_min_um must be positive")
+
+    @property
+    def vtn_reduced(self) -> float:
+        """Reduced NMOS threshold ``v_TN = V_TN / V_DD`` (eq. 1)."""
+        return self.vtn / self.vdd
+
+    @property
+    def vtp_reduced(self) -> float:
+        """Reduced PMOS threshold ``v_TP = |V_TP| / V_DD`` (eq. 1)."""
+        return self.vtp / self.vdd
+
+    def width_for_cin(self, cin_ff: float) -> float:
+        """Total transistor width (um) presenting ``cin_ff`` of input cap.
+
+        The area metric of the paper is the sum of transistor widths
+        ``sum W``; sizing works on input capacitances, and this converts
+        back: ``C_IN = c_gate * (W_N + W_P)``.
+        """
+        if cin_ff < 0:
+            raise ValueError(f"cin_ff must be non-negative, got {cin_ff}")
+        return cin_ff / self.c_gate_ff_per_um
+
+    def cin_for_width(self, width_um: float) -> float:
+        """Input capacitance (fF) of ``width_um`` total gate width."""
+        if width_um < 0:
+            raise ValueError(f"width_um must be non-negative, got {width_um}")
+        return width_um * self.c_gate_ff_per_um
+
+    def scaled(self, **overrides: float) -> "Technology":
+        """Return a copy with selected fields replaced (corner modelling)."""
+        return replace(self, **overrides)
+
+
+#: Default process of the paper: 0.25 um CMOS, 2.5 V.
+CMOS025 = Technology(
+    name="cmos025",
+    vdd=2.5,
+    vtn=0.50,
+    vtp=0.55,
+    tau_ps=14.5,
+    r_ratio=2.4,
+    c_gate_ff_per_um=1.80,
+    c_junction_ff_per_um=1.10,
+    w_min_um=0.60,
+    mobility_exponent=1.30,
+)
+
+#: A faster node, used by scaling studies and tests only.
+CMOS018 = Technology(
+    name="cmos018",
+    vdd=1.8,
+    vtn=0.42,
+    vtp=0.46,
+    tau_ps=9.5,
+    r_ratio=2.2,
+    c_gate_ff_per_um=1.45,
+    c_junction_ff_per_um=0.95,
+    w_min_um=0.42,
+    mobility_exponent=1.25,
+)
+
+#: An even faster node for scaling studies.
+CMOS013 = Technology(
+    name="cmos013",
+    vdd=1.3,
+    vtn=0.34,
+    vtp=0.36,
+    tau_ps=6.0,
+    r_ratio=2.0,
+    c_gate_ff_per_um=1.20,
+    c_junction_ff_per_um=0.80,
+    w_min_um=0.30,
+    mobility_exponent=1.20,
+)

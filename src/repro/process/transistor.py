@@ -1,0 +1,159 @@
+"""Sakurai--Newton alpha-power-law MOSFET model.
+
+The paper validates its closed-form delay expressions against HSPICE on a
+0.25 um process.  We cannot run HSPICE, so :mod:`repro.spice` integrates the
+gate networks with this classic short-channel analytical device model
+(T. Sakurai, A.R. Newton, "Alpha-power law MOSFET model and its applications
+to CMOS inverter delay", JSSC 1990).  It captures velocity saturation, which
+is what makes 0.25 um delays deviate from the square-law model, and is
+entirely self-contained.
+
+Currents are expressed in mA for widths in um and voltages in V, so that
+``t = C dV / I`` comes out in nanoseconds for capacitances in pF -- the
+simulator works in (fF, ps) and rescales accordingly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.process.technology import Technology
+
+#: Saturation-to-average switching current correction (triode-region
+#: shortfall of the alpha-power device over a full output swing).
+CURRENT_SHAPE_FACTOR = 1.33
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Alpha-power-law parameters of a device family (NMOS or PMOS).
+
+    Attributes
+    ----------
+    polarity:
+        ``"n"`` or ``"p"``.
+    vt:
+        Threshold voltage magnitude in volts.
+    beta_ma_per_um:
+        Saturation transconductance: ``I_sat = beta * W * (Vgst)**alpha``
+        in mA for W in um.
+    alpha:
+        Velocity-saturation index (2 = long channel, ~1.2-1.4 at 0.25 um).
+    vd0_per_vgst:
+        Saturation drain voltage coefficient: ``V_D0 = K * Vgst**(alpha/2)``.
+    """
+
+    polarity: str
+    vt: float
+    beta_ma_per_um: float
+    alpha: float
+    vd0_per_vgst: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("n", "p"):
+            raise ValueError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+        if self.vt <= 0:
+            raise ValueError(f"vt must be positive, got {self.vt}")
+        if self.beta_ma_per_um <= 0:
+            raise ValueError("beta_ma_per_um must be positive")
+        if self.alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1, got {self.alpha}")
+
+
+def saturation_voltage(params: MosfetParams, vgst: float) -> float:
+    """Drain saturation voltage ``V_D0`` for gate overdrive ``vgst``."""
+    if vgst <= 0:
+        return 0.0
+    return params.vd0_per_vgst * vgst ** (params.alpha / 2.0)
+
+
+def drain_current(params: MosfetParams, width_um: float, vgs: float, vds: float) -> float:
+    """Drain current (mA) of a device of ``width_um`` microns.
+
+    ``vgs`` and ``vds`` are magnitudes (the caller handles PMOS sign
+    conventions).  Cut-off below threshold; Sakurai--Newton triode below
+    ``V_D0``; constant saturation current above.
+    """
+    if width_um < 0:
+        raise ValueError(f"width_um must be non-negative, got {width_um}")
+    vgst = vgs - params.vt
+    if vgst <= 0 or vds <= 0 or width_um == 0:
+        return 0.0
+    i_sat = params.beta_ma_per_um * width_um * vgst**params.alpha
+    vd0 = saturation_voltage(params, vgst)
+    if vds >= vd0 or vd0 == 0:
+        return i_sat
+    x = vds / vd0
+    return i_sat * x * (2.0 - x)
+
+
+def nmos_for(tech: Technology) -> MosfetParams:
+    """NMOS parameters consistent with a technology descriptor.
+
+    The transconductance is derived from the process time unit so that the
+    simulator and the closed-form model live on the same speed scale: the
+    eq. 2 transition time ``S_HL * tau * C_L / C_IN`` of an inverter must
+    match its physical full-swing discharge time ``C_L * V_DD / I_N``.
+    """
+    vgst = tech.vdd - tech.vtn
+    if vgst <= 0:
+        raise ValueError("technology has vtn >= vdd")
+    # Consistency with eq. 2: the full-swing discharge time C_L*V_DD/I of
+    # an inverter must equal S_HL*tau*C_L/C_IN with S_HL = (1+k)/2, which
+    # pins the unit current at 2*c_gate*V_DD/tau per micron of N width.
+    # The device spends part of the swing in the triode region where it
+    # delivers less than I_sat; CURRENT_SHAPE_FACTOR compensates so the
+    # *effective* switching current honours the identity (calibrated on
+    # step-response inverter transients, see repro.process.calibration).
+    # (fF * V / ps = mA.)
+    i_unit = (
+        CURRENT_SHAPE_FACTOR * 2.0 * tech.c_gate_ff_per_um * tech.vdd / tech.tau_ps
+    )
+    beta = i_unit / vgst**tech.mobility_exponent
+    return MosfetParams(
+        polarity="n",
+        vt=tech.vtn,
+        beta_ma_per_um=beta,
+        alpha=tech.mobility_exponent,
+        vd0_per_vgst=0.5,
+    )
+
+
+def pmos_for(tech: Technology) -> MosfetParams:
+    """PMOS parameters: NMOS transconductance divided by ``R``."""
+    n = nmos_for(tech)
+    vgst_n = tech.vdd - tech.vtn
+    vgst_p = tech.vdd - tech.vtp
+    if vgst_p <= 0:
+        raise ValueError("technology has vtp >= vdd")
+    # Keep I_p(W) = I_n(W) / R at full overdrive despite differing VT.
+    beta_p = n.beta_ma_per_um * vgst_n**n.alpha / (tech.r_ratio * vgst_p**n.alpha)
+    return MosfetParams(
+        polarity="p",
+        vt=tech.vtp,
+        beta_ma_per_um=beta_p,
+        alpha=n.alpha,
+        vd0_per_vgst=0.5,
+    )
+
+
+def unit_saturation_current(params: MosfetParams, vdd: float) -> float:
+    """Saturation current (mA) of a 1 um device at full gate overdrive."""
+    return drain_current(params, 1.0, vdd, vdd)
+
+
+def effective_resistance(params: MosfetParams, width_um: float, vdd: float) -> float:
+    """Switching-average effective resistance (kOhm) of the device.
+
+    Classic approximation: average of ``V/I`` at ``vds = vdd`` and
+    ``vds = vdd/2``.  Used by quick RC estimates and sanity tests; the
+    transient simulator integrates the full nonlinear current instead.
+    """
+    if width_um <= 0:
+        raise ValueError("width_um must be positive")
+    i_full = drain_current(params, width_um, vdd, vdd)
+    i_half = drain_current(params, width_um, vdd, vdd / 2.0)
+    if i_full <= 0 or i_half <= 0:
+        return math.inf
+    return 0.5 * (vdd / i_full + (vdd / 2.0) / i_half)

@@ -1,0 +1,30 @@
+"""The POPS optimization protocol (Fig. 7): classification and drivers."""
+
+from repro.protocol.domains import (
+    HARD_THRESHOLD,
+    WEAK_THRESHOLD,
+    ConstraintDomain,
+    DomainClassification,
+    classify_constraint,
+)
+from repro.protocol.optimizer import (
+    CircuitOptimizationResult,
+    ProtocolResult,
+    optimize_circuit,
+    optimize_path,
+)
+from repro.protocol.report import format_gain, format_table
+
+__all__ = [
+    "ConstraintDomain",
+    "DomainClassification",
+    "classify_constraint",
+    "WEAK_THRESHOLD",
+    "HARD_THRESHOLD",
+    "ProtocolResult",
+    "optimize_path",
+    "CircuitOptimizationResult",
+    "optimize_circuit",
+    "format_table",
+    "format_gain",
+]

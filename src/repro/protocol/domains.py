@@ -1,0 +1,81 @@
+"""Constraint domain classification (Fig. 6 / Fig. 7).
+
+The protocol routes a path to the cheapest adequate technique by locating
+its delay constraint relative to the path's ``Tmin``:
+
+* **weak**       ``Tc > 2.5 Tmin``   -- sizing alone; buffers buy nothing;
+* **medium**     ``1.2 Tmin < Tc < 2.5 Tmin`` -- buffers are not *needed*
+  but allow a smaller-area implementation;
+* **hard**       ``Tmin <= Tc < 1.2 Tmin`` -- buffer insertion plus global
+  sizing is the efficient alternative;
+* **infeasible** ``Tc < Tmin``       -- only structure modification
+  (buffering / De Morgan rewriting) can meet the constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+#: Domain boundaries from Fig. 6 of the paper, as multiples of Tmin.
+WEAK_THRESHOLD = 2.5
+HARD_THRESHOLD = 1.2
+
+
+class ConstraintDomain(Enum):
+    """Where a delay constraint sits relative to the path's capability."""
+
+    WEAK = "weak"
+    MEDIUM = "medium"
+    HARD = "hard"
+    INFEASIBLE = "infeasible"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DomainClassification:
+    """A classified constraint.
+
+    Attributes
+    ----------
+    domain:
+        The Fig. 6 region.
+    severity:
+        ``Tc / Tmin`` -- the dimensionless constraint hardness.
+    """
+
+    domain: ConstraintDomain
+    tc_ps: float
+    tmin_ps: float
+
+    @property
+    def severity(self) -> float:
+        """``Tc / Tmin`` -- dimensionless constraint hardness."""
+        return self.tc_ps / self.tmin_ps
+
+
+def classify_constraint(
+    tc_ps: float,
+    tmin_ps: float,
+    weak_threshold: float = WEAK_THRESHOLD,
+    hard_threshold: float = HARD_THRESHOLD,
+) -> DomainClassification:
+    """Locate ``Tc`` in the weak/medium/hard/infeasible taxonomy."""
+    if tc_ps <= 0:
+        raise ValueError("tc_ps must be positive")
+    if tmin_ps <= 0:
+        raise ValueError("tmin_ps must be positive")
+    if not 1.0 <= hard_threshold < weak_threshold:
+        raise ValueError("need 1 <= hard_threshold < weak_threshold")
+    ratio = tc_ps / tmin_ps
+    if ratio < 1.0:
+        domain = ConstraintDomain.INFEASIBLE
+    elif ratio < hard_threshold:
+        domain = ConstraintDomain.HARD
+    elif ratio < weak_threshold:
+        domain = ConstraintDomain.MEDIUM
+    else:
+        domain = ConstraintDomain.WEAK
+    return DomainClassification(domain=domain, tc_ps=tc_ps, tmin_ps=tmin_ps)

@@ -1,0 +1,396 @@
+"""The POPS optimization protocol (Fig. 7) -- path and circuit drivers.
+
+The protocol, verbatim from the paper:
+
+1. **Library characterisation**: tabulate ``Flimit`` for every gate pair.
+2. **Optimization-space characterisation**: classify paths, compute the
+   delay bounds ``Tmax`` / ``Tmin``.
+3. **Constraint distribution**:
+
+   * ``Tc < Tmin``          -> structure modification (buffers, then De
+     Morgan rewriting) until the constraint becomes feasible;
+   * weak constraint        -> gate sizing (constant sensitivity);
+   * medium constraint      -> buffer insertion for area reduction
+     (kept only if it actually reduces the implementation area);
+   * hard constraint        -> buffer insertion & global sizing.
+
+The circuit driver applies the path protocol to the K most critical
+paths, re-extracting after each pass (path interaction through the side
+loads), until the circuit's critical delay meets the constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.buffering.insertion import (
+    default_flimits,
+    distribute_with_buffers,
+    min_delay_with_buffers,
+)
+from repro.cells.library import Library
+from repro.netlist.circuit import Circuit
+from repro.protocol.domains import (
+    ConstraintDomain,
+    DomainClassification,
+    classify_constraint,
+)
+from repro.restructuring.demorgan import (
+    distribute_with_restructuring,
+    restructurable_stages,
+)
+from repro.sizing.bounds import min_delay_bound
+from repro.sizing.sensitivity import distribute_constraint
+from repro.timing.critical_paths import apply_path_sizes, k_critical_paths
+from repro.timing.evaluation import path_area_um
+from repro.timing.path import BoundedPath
+from repro.timing.sta import analyze
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Outcome of the Fig. 7 protocol on one path.
+
+    Attributes
+    ----------
+    method:
+        The technique the protocol selected: ``"sizing"``,
+        ``"buffering"``, ``"buffering+sizing"`` or ``"restructuring"``.
+    path / sizes:
+        The final (possibly structurally modified) implementation.
+    area_um:
+        Full implementation cost, including any off-path inverters
+        introduced by restructuring.
+    domain:
+        The constraint classification that drove the selection.
+    feasible:
+        Whether the returned implementation meets ``Tc``.
+    """
+
+    method: str
+    domain: DomainClassification
+    path: BoundedPath
+    sizes: np.ndarray
+    delay_ps: float
+    area_um: float
+    tc_ps: float
+    feasible: bool
+    tmin_ps: float
+
+    @property
+    def slack_ps(self) -> float:
+        """Constraint slack of the returned implementation (ps)."""
+        return self.tc_ps - self.delay_ps
+
+
+def optimize_path(
+    path: BoundedPath,
+    library: Library,
+    tc_ps: float,
+    limits: Optional[Dict] = None,
+    allow_restructuring: bool = True,
+    weight_mode: str = "uniform",
+    conserve_structure: bool = False,
+) -> ProtocolResult:
+    """Run the full Fig. 7 protocol on one bounded path.
+
+    ``conserve_structure`` keeps the path's gate list intact whenever the
+    constraint is reachable by sizing alone (the circuit driver uses it so
+    results can be written back onto the netlist; structural help is then
+    applied at the netlist level).
+    """
+    if tc_ps <= 0:
+        raise ValueError("tc_ps must be positive")
+    if limits is None:
+        limits = default_flimits(library)
+
+    tmin, _, _, _ = min_delay_bound(path, library)
+    classification = classify_constraint(tc_ps, tmin)
+    domain = classification.domain
+
+    if conserve_structure and domain in (
+        ConstraintDomain.MEDIUM,
+        ConstraintDomain.HARD,
+    ):
+        result = distribute_constraint(path, library, tc_ps, weight_mode=weight_mode)
+        if result.feasible:
+            return ProtocolResult(
+                method="sizing",
+                domain=classification,
+                path=path,
+                sizes=result.sizes,
+                delay_ps=result.achieved_delay_ps,
+                area_um=result.area_um,
+                tc_ps=tc_ps,
+                feasible=True,
+                tmin_ps=tmin,
+            )
+
+    if domain is ConstraintDomain.WEAK:
+        result = distribute_constraint(path, library, tc_ps, weight_mode=weight_mode)
+        return ProtocolResult(
+            method="sizing",
+            domain=classification,
+            path=path,
+            sizes=result.sizes,
+            delay_ps=result.achieved_delay_ps,
+            area_um=result.area_um,
+            tc_ps=tc_ps,
+            feasible=result.feasible,
+            tmin_ps=tmin,
+        )
+
+    if domain is ConstraintDomain.MEDIUM:
+        plain = distribute_constraint(path, library, tc_ps, weight_mode=weight_mode)
+        buffered, buffered_path, inserted = distribute_with_buffers(
+            path, library, tc_ps, limits=limits, mode="global",
+            weight_mode=weight_mode,
+        )
+        # Buffers are kept only when they reduce the implementation area.
+        if inserted and buffered.feasible and buffered.area_um < plain.area_um:
+            return ProtocolResult(
+                method="buffering",
+                domain=classification,
+                path=buffered_path,
+                sizes=buffered.sizes,
+                delay_ps=buffered.achieved_delay_ps,
+                area_um=buffered.area_um,
+                tc_ps=tc_ps,
+                feasible=buffered.feasible,
+                tmin_ps=tmin,
+            )
+        return ProtocolResult(
+            method="sizing",
+            domain=classification,
+            path=path,
+            sizes=plain.sizes,
+            delay_ps=plain.achieved_delay_ps,
+            area_um=plain.area_um,
+            tc_ps=tc_ps,
+            feasible=plain.feasible,
+            tmin_ps=tmin,
+        )
+
+    if domain is ConstraintDomain.HARD:
+        buffered, buffered_path, inserted = distribute_with_buffers(
+            path, library, tc_ps, limits=limits, mode="global",
+            weight_mode=weight_mode,
+        )
+        if buffered.feasible:
+            return ProtocolResult(
+                method="buffering+sizing" if inserted else "sizing",
+                domain=classification,
+                path=buffered_path,
+                sizes=buffered.sizes,
+                delay_ps=buffered.achieved_delay_ps,
+                area_um=buffered.area_um,
+                tc_ps=tc_ps,
+                feasible=True,
+                tmin_ps=tmin,
+            )
+        # Fall through to structure modification.
+
+    # Infeasible by sizing alone: structure modification.
+    buffered_min = min_delay_with_buffers(path, library, limits=limits, mode="global")
+    if buffered_min.delay_ps <= tc_ps:
+        result = distribute_constraint(
+            buffered_min.path, library, tc_ps, weight_mode=weight_mode
+        )
+        return ProtocolResult(
+            method="buffering+sizing",
+            domain=classification,
+            path=buffered_min.path,
+            sizes=result.sizes,
+            delay_ps=result.achieved_delay_ps,
+            area_um=result.area_um,
+            tc_ps=tc_ps,
+            feasible=result.feasible,
+            tmin_ps=tmin,
+        )
+
+    if allow_restructuring and restructurable_stages(path):
+        result, rewritten = distribute_with_restructuring(
+            path, library, tc_ps, limits=limits, weight_mode=weight_mode
+        )
+        return ProtocolResult(
+            method="restructuring",
+            domain=classification,
+            path=rewritten.path,
+            sizes=result.sizes,
+            delay_ps=result.achieved_delay_ps,
+            area_um=result.area_um + rewritten.side_inverter_area_um,
+            tc_ps=tc_ps,
+            feasible=result.feasible,
+            tmin_ps=tmin,
+        )
+
+    # Nothing met Tc: return the best (buffered minimum-delay) attempt.
+    return ProtocolResult(
+        method="buffering+sizing",
+        domain=classification,
+        path=buffered_min.path,
+        sizes=buffered_min.sizes,
+        delay_ps=buffered_min.delay_ps,
+        area_um=buffered_min.area_um,
+        tc_ps=tc_ps,
+        feasible=buffered_min.delay_ps <= tc_ps,
+        tmin_ps=tmin,
+    )
+
+
+def _apply_structural_outcome(
+    working: Circuit,
+    library: Library,
+    candidate,
+    outcome: ProtocolResult,
+) -> bool:
+    """Write a structure-modifying path outcome back onto the netlist.
+
+    Buffered stages (``<gate>_buf<i>`` names) become polarity-preserving
+    inverter pairs after the flagged gate; De Morgan rewrites
+    (``<gate>_dm*`` names) apply the netlist-level NOR -> NAND transform.
+    The surviving original gates then receive their optimized sizes.
+    """
+    from repro.buffering.netlist_insertion import insert_buffer_pair
+    from repro.restructuring.demorgan import demorgan_nor_to_nand
+
+    original = set(candidate.gate_names)
+    touched = False
+    buffered_gates = set()
+    rewritten_gates = set()
+    for stage in outcome.path.stages:
+        if stage.name in original:
+            continue
+        base = stage.name
+        if "_buf" in base:
+            buffered_gates.add(base.split("_buf")[0])
+        elif "_dm" in base:
+            rewritten_gates.add(base.split("_dm")[0])
+    for name in sorted(buffered_gates):
+        if name in working.gates and f"{name}_bufa" not in working.gates:
+            insert_buffer_pair(working, name, library)
+            touched = True
+    for name in sorted(rewritten_gates):
+        gate = working.gates.get(name)
+        if gate is not None and gate.kind.value.startswith("nor"):
+            rewritten = demorgan_nor_to_nand(working, name)
+            working.gates = rewritten.gates
+            working.outputs = rewritten.outputs
+            touched = True
+    # Keep the original gates' optimized sizes where they survived.
+    for stage, cin in zip(outcome.path.stages, outcome.sizes):
+        if stage.name in original and stage.name in working.gates:
+            working.gates[stage.name].cin_ff = float(cin)
+            touched = True
+    return touched
+
+
+@dataclass
+class CircuitOptimizationResult:
+    """Outcome of the circuit-level driver.
+
+    Attributes
+    ----------
+    critical_delay_ps:
+        Post-optimization STA critical delay.
+    path_results:
+        Per-pass path protocol outcomes, in application order.
+    passes:
+        Number of extract-optimize-reapply rounds executed.
+    """
+
+    circuit: Circuit
+    tc_ps: float
+    critical_delay_ps: float
+    feasible: bool
+    path_results: List[ProtocolResult] = field(default_factory=list)
+    passes: int = 0
+
+
+def optimize_circuit(
+    circuit: Circuit,
+    library: Library,
+    tc_ps: float,
+    k_paths: int = 4,
+    max_passes: int = 6,
+    limits: Optional[Dict] = None,
+    weight_mode: str = "uniform",
+) -> CircuitOptimizationResult:
+    """Apply the path protocol over a circuit's critical paths.
+
+    Pure sizing decisions are written back onto the netlist; passes where
+    the protocol had to modify the structure keep the sizing of the
+    original gates (structural write-back is the caller's choice, since
+    it changes net names).  Iterates until the STA critical delay meets
+    ``Tc`` or the improvement stalls.
+    """
+    if limits is None:
+        limits = default_flimits(library)
+    working = circuit.copy()
+    results: List[ProtocolResult] = []
+    passes = 0
+
+    def snapshot() -> Dict[str, Optional[float]]:
+        return {name: gate.cin_ff for name, gate in working.gates.items()}
+
+    def restore(state: Dict[str, Optional[float]]) -> None:
+        for name, cin in state.items():
+            working.gates[name].cin_ff = cin
+
+    best_state = snapshot()
+    best_delay = analyze(working, library).critical_delay_ps
+    stalled_passes = 0
+    for _ in range(max_passes):
+        if best_delay <= tc_ps:
+            break
+        passes += 1
+        extracted = k_critical_paths(working, library, k=k_paths)
+        progressed = False
+        for candidate in extracted:
+            if candidate.delay_ps <= tc_ps:
+                continue
+            outcome = optimize_path(
+                candidate.path,
+                library,
+                tc_ps,
+                limits=limits,
+                weight_mode=weight_mode,
+                conserve_structure=True,
+            )
+            results.append(outcome)
+            if len(outcome.path) == len(candidate.path):
+                apply_path_sizes(working, candidate.gate_names, outcome.sizes)
+                progressed = True
+            else:
+                progressed |= _apply_structural_outcome(
+                    working, library, candidate, outcome
+                )
+        if not progressed:
+            break
+        # Sizing one path reloads adjacent paths (the interaction the
+        # paper warns about).  A pass may regress transiently -- the next
+        # extraction then targets the newly critical side path -- so keep
+        # the best state seen and only stop after two stalled passes.
+        delay_now = analyze(working, library).critical_delay_ps
+        if delay_now < best_delay - 1e-6:
+            best_delay = delay_now
+            best_state = snapshot()
+            stalled_passes = 0
+        else:
+            stalled_passes += 1
+            if stalled_passes >= 2:
+                break
+
+    restore(best_state)
+    final = analyze(working, library)
+    return CircuitOptimizationResult(
+        circuit=working,
+        tc_ps=tc_ps,
+        critical_delay_ps=final.critical_delay_ps,
+        feasible=final.critical_delay_ps <= tc_ps,
+        path_results=results,
+        passes=passes,
+    )

@@ -1,0 +1,53 @@
+"""Plain-text reporting of protocol and experiment results.
+
+The bench harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table (no external deps)."""
+    materialised: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == float("inf"):
+            return "inf"
+        magnitude = abs(cell)
+        if magnitude >= 1000:
+            return f"{cell:.0f}"
+        if magnitude >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_gain(before: float, after: float) -> str:
+    """Percentage improvement string (paper's "gain" rows)."""
+    if before <= 0:
+        return "n/a"
+    return f"{100.0 * (1.0 - after / before):.0f}%"

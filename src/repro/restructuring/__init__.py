@@ -1,0 +1,21 @@
+"""Logic structure modification: De Morgan NOR <-> NAND rewrites."""
+
+from repro.restructuring.demorgan import (
+    RestructureResult,
+    demorgan_nand_to_nor,
+    demorgan_nor_to_nand,
+    distribute_with_restructuring,
+    restructurable_stages,
+    restructure_path,
+    rewrite_all_nors,
+)
+
+__all__ = [
+    "RestructureResult",
+    "restructure_path",
+    "restructurable_stages",
+    "distribute_with_restructuring",
+    "demorgan_nor_to_nand",
+    "demorgan_nand_to_nor",
+    "rewrite_all_nors",
+]

@@ -1,0 +1,220 @@
+"""Logic structure modification via De Morgan's theorem (section 4.2).
+
+The alternative to buffering an inefficient gate is to *replace* it with an
+efficient one.  NOR gates have the lowest ``Flimit`` (weak P stacks, made
+worse by ``R``); De Morgan rewrites them around NANDs::
+
+    NOR(a, b, ...) = INV( NAND( INV(a), INV(b), ... ) )
+
+On a bounded path only one input is the switching one, so the on-path
+replacement is ``INV -> NAND -> INV``: the same number of inserted
+inverters as a polarity-preserving buffer pair, but the slow NOR is gone
+and the output inverter provides the load dilution for free -- the paper's
+Table 4 area advantage.  The complementary ``NAND -> INV . NOR . INV``
+rewrite exists for completeness (it is never profitable on this library,
+which property tests assert).
+
+Both a path-level transform (for the optimization flow) and a netlist-level
+transform (with logic-equivalence certification) are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.gate_types import GateKind, nand_kind, nor_kind, num_inputs
+from repro.cells.library import Library
+from repro.buffering.flimit import flimit_lookup
+from repro.buffering.insertion import default_flimits, overloaded_stages
+from repro.netlist.circuit import Circuit
+from repro.sizing.bounds import min_delay_bound
+from repro.sizing.sensitivity import ConstraintResult, distribute_constraint
+from repro.timing.evaluation import path_area_um
+from repro.timing.path import BoundedPath, PathStage
+
+_NOR_TO_NAND = {
+    GateKind.NOR2: GateKind.NAND2,
+    GateKind.NOR3: GateKind.NAND3,
+    GateKind.NOR4: GateKind.NAND4,
+}
+_NAND_TO_NOR = {
+    GateKind.NAND2: GateKind.NOR2,
+    GateKind.NAND3: GateKind.NOR3,
+    GateKind.NAND4: GateKind.NOR4,
+}
+
+
+@dataclass(frozen=True)
+class RestructureResult:
+    """A path after De Morgan rewriting.
+
+    Attributes
+    ----------
+    path:
+        The rewritten path (3 stages per replaced gate).
+    replaced:
+        Original stage indices that were rewritten.
+    side_inverter_area_um:
+        Fixed area of the off-path input inverters (one per non-switching
+        input of each replaced gate, at minimum drive) -- included in the
+        implementation cost reported by the benches.
+    """
+
+    path: BoundedPath
+    replaced: Tuple[int, ...]
+    side_inverter_area_um: float
+
+
+def restructurable_stages(path: BoundedPath) -> List[int]:
+    """Indices of stages a NOR->NAND rewrite can target."""
+    return [
+        i for i, stage in enumerate(path.stages) if stage.cell.kind in _NOR_TO_NAND
+    ]
+
+
+def restructure_path(
+    path: BoundedPath,
+    library: Library,
+    indices: Optional[Sequence[int]] = None,
+    limits: Optional[Dict] = None,
+) -> RestructureResult:
+    """Rewrite NOR stages as ``INV -> NAND -> INV`` on the path.
+
+    ``indices`` selects the stages; by default every NOR stage that is a
+    critical node (fan-out above its ``Flimit`` at the minimum-delay
+    sizing) is rewritten -- the deterministic pre-processing selection the
+    paper argues for.
+    """
+    if indices is None:
+        if limits is None:
+            limits = default_flimits(library)
+        _, sizes, _, _ = min_delay_bound(path, library, polish=False)
+        flagged = set(overloaded_stages(path, sizes, limits))
+        candidates = restructurable_stages(path)
+        indices = [i for i in candidates if i in flagged]
+        if not indices and candidates:
+            # No NOR above its Flimit: rewrite only the most loaded one
+            # (rewriting every NOR lengthens the path for nothing).
+            from repro.timing.evaluation import stage_fanout_ratios
+
+            ratios = stage_fanout_ratios(path, sizes)
+            indices = [max(candidates, key=lambda i: ratios[i])]
+    else:
+        for i in indices:
+            if path.stages[i].cell.kind not in _NOR_TO_NAND:
+                raise ValueError(
+                    f"stage {i} is {path.stages[i].cell.kind}, not a NOR"
+                )
+
+    inv = library.cell(GateKind.INV)
+    tech = library.tech
+    new_path = path
+    side_area = 0.0
+    offset = 0
+    for index in sorted(indices):
+        at = index + offset
+        original = new_path.stages[at]
+        nand = library.cell(_NOR_TO_NAND[original.cell.kind])
+        # INV (on-path input complement) -> NAND -> INV (output complement).
+        new_path = new_path.with_stage_replaced(
+            at, PathStage(cell=inv, cside_ff=0.0, name=f"{original.name}_dmin")
+        )
+        new_path = new_path.with_stage_inserted(
+            at + 1, PathStage(cell=nand, cside_ff=0.0, name=f"{original.name}_dmnand")
+        )
+        new_path = new_path.with_stage_inserted(
+            at + 2,
+            PathStage(
+                cell=inv, cside_ff=original.cside_ff, name=f"{original.name}_dmout"
+            ),
+        )
+        # Off-path inputs each need a minimum-drive inverter.
+        n_side = original.cell.n_inputs - 1
+        side_area += n_side * inv.total_width_um(inv.cin_min(tech), tech)
+        offset += 2
+    return RestructureResult(
+        path=new_path,
+        replaced=tuple(sorted(indices)),
+        side_inverter_area_um=side_area,
+    )
+
+
+def distribute_with_restructuring(
+    path: BoundedPath,
+    library: Library,
+    tc_ps: float,
+    indices: Optional[Sequence[int]] = None,
+    limits: Optional[Dict] = None,
+    weight_mode: str = "uniform",
+) -> Tuple[ConstraintResult, RestructureResult]:
+    """Meet ``Tc`` after De Morgan rewriting (Table 4 flow).
+
+    The returned constraint result's ``area_um`` covers the on-path
+    stages; add ``RestructureResult.side_inverter_area_um`` for the full
+    implementation cost (the benches do).
+    """
+    rewritten = restructure_path(path, library, indices=indices, limits=limits)
+    result = distribute_constraint(
+        rewritten.path, library, tc_ps, weight_mode=weight_mode
+    )
+    return result, rewritten
+
+
+# -- netlist-level transform -------------------------------------------
+
+
+def demorgan_nor_to_nand(circuit: Circuit, gate_name: str) -> Circuit:
+    """Rewrite one NOR gate of a circuit through De Morgan (new circuit).
+
+    ``NOR(a, b, ...)`` becomes ``INV(NAND(INV(a), INV(b), ...))``; input
+    inverters are shared per source net if the rewrite is applied to
+    several gates reading the same net.
+    """
+    gate = circuit.gate(gate_name)
+    if gate.kind not in _NOR_TO_NAND:
+        raise ValueError(f"{gate_name!r} is {gate.kind}, not a NOR")
+    rewritten = circuit.copy()
+    del rewritten.gates[gate_name]
+    inv_nets: List[str] = []
+    for position, source in enumerate(gate.fanin):
+        inv_name = f"{gate_name}_dm_in{position}"
+        rewritten.add_gate(inv_name, GateKind.INV, [source])
+        inv_nets.append(inv_name)
+    nand_name = f"{gate_name}_dm_nand"
+    rewritten.add_gate(nand_name, _NOR_TO_NAND[gate.kind], inv_nets)
+    # The original output net name must survive for downstream readers.
+    rewritten.add_gate(gate_name, GateKind.INV, [nand_name])
+    rewritten.validate()
+    return rewritten
+
+
+def demorgan_nand_to_nor(circuit: Circuit, gate_name: str) -> Circuit:
+    """The dual rewrite: ``NAND(a, b) -> INV(NOR(INV(a), INV(b)))``."""
+    gate = circuit.gate(gate_name)
+    if gate.kind not in _NAND_TO_NOR:
+        raise ValueError(f"{gate_name!r} is {gate.kind}, not a NAND")
+    rewritten = circuit.copy()
+    del rewritten.gates[gate_name]
+    inv_nets: List[str] = []
+    for position, source in enumerate(gate.fanin):
+        inv_name = f"{gate_name}_dm_in{position}"
+        rewritten.add_gate(inv_name, GateKind.INV, [source])
+        inv_nets.append(inv_name)
+    nor_name = f"{gate_name}_dm_nor"
+    rewritten.add_gate(nor_name, _NAND_TO_NOR[gate.kind], inv_nets)
+    rewritten.add_gate(gate_name, GateKind.INV, [nor_name])
+    rewritten.validate()
+    return rewritten
+
+
+def rewrite_all_nors(circuit: Circuit) -> Tuple[Circuit, List[str]]:
+    """Apply the NOR->NAND rewrite to every NOR gate of a circuit."""
+    rewritten = circuit
+    renamed: List[str] = []
+    for name in [g.name for g in circuit.gates.values() if g.kind in _NOR_TO_NAND]:
+        rewritten = demorgan_nor_to_nand(rewritten, name)
+        renamed.append(name)
+    return rewritten, renamed

@@ -1,0 +1,29 @@
+"""Sizing engines: delay bounds, constant sensitivity, classic baselines."""
+
+from repro.sizing.bounds import (
+    BoundsHistoryPoint,
+    DelayBounds,
+    delay_bounds,
+    max_delay_bound,
+    min_delay_bound,
+)
+from repro.sizing.sensitivity import (
+    ConstraintResult,
+    SensitivitySolution,
+    distribute_constraint,
+    sensitivity_sweep,
+    solve_sensitivity,
+)
+
+__all__ = [
+    "DelayBounds",
+    "BoundsHistoryPoint",
+    "delay_bounds",
+    "min_delay_bound",
+    "max_delay_bound",
+    "SensitivitySolution",
+    "ConstraintResult",
+    "solve_sensitivity",
+    "sensitivity_sweep",
+    "distribute_constraint",
+]

@@ -1,0 +1,255 @@
+"""Path delay bounds ``Tmax`` / ``Tmin`` (section 3.1, eq. 4, Figs. 1-2).
+
+* ``Tmax`` is the paper's pseudo-upper bound: every gate at the minimum
+  available drive.  (Without a size floor no upper bound exists.)
+* ``Tmin`` is the global minimum of the convex bounded-path delay.  It is
+  found exactly as in the paper: cancel ``dT/dC_IN(i)``, which yields the
+  link equations (eq. 4)::
+
+      C_IN(i)^2 = (A_i / A_{i-1}) * C_IN(i-1) * (C_par + C_side + C_IN(i+1))
+
+  seeded by a backward pass with ``C_IN(i-1) = CREF``, then iterated to a
+  fixed point with the effective ``A_i`` recomputed every sweep.  A short
+  projected-gradient polish (exact numerical gradient) follows, so the
+  result is a certified stationary point of the *full* model including the
+  coupling-factor derivatives the link equations neglect.
+
+The iteration history (total input capacitance vs delay) is recorded to
+regenerate Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cells.library import Library
+from repro.timing.evaluation import (
+    delay_gradient,
+    effective_a_coeffs,
+    path_area_um,
+    path_delay_ps,
+    stage_external_loads,
+)
+from repro.timing.path import BoundedPath
+
+
+@dataclass(frozen=True)
+class BoundsHistoryPoint:
+    """One iteration snapshot for the Fig. 1 trajectory."""
+
+    iteration: int
+    total_cin_over_cref: float
+    delay_ps: float
+
+
+@dataclass(frozen=True)
+class DelayBounds:
+    """Result of a bounds computation on one path.
+
+    Attributes
+    ----------
+    tmin_ps / tmax_ps:
+        The achievable delay window of the path.
+    sizes_tmin / sizes_tmax:
+        Sizing vectors realising each bound.
+    area_tmin_um / area_tmax_um:
+        ``sum W`` of each realisation.
+    history:
+        (iteration, sum C_IN / CREF, delay) trace of the Tmin iteration.
+    iterations:
+        Number of eq. 4 sweeps used (excluding the polish).
+    """
+
+    tmin_ps: float
+    tmax_ps: float
+    sizes_tmin: np.ndarray
+    sizes_tmax: np.ndarray
+    area_tmin_um: float
+    area_tmax_um: float
+    history: Tuple[BoundsHistoryPoint, ...]
+    iterations: int
+
+    def feasible(self, tc_ps: float) -> bool:
+        """Whether a delay constraint can be met by sizing alone."""
+        return tc_ps >= self.tmin_ps
+
+
+def max_delay_bound(path: BoundedPath, library: Library) -> Tuple[float, np.ndarray]:
+    """``Tmax``: the minimum-area (all gates at CREF-level drive) delay."""
+    sizes = path.min_sizes(library)
+    return path_delay_ps(path, sizes, library), sizes
+
+
+def _link_equation_sweep(
+    path: BoundedPath,
+    sizes: np.ndarray,
+    library: Library,
+    sensitivity: float = 0.0,
+    area_weights: Optional[np.ndarray] = None,
+    frozen: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One Gauss-Seidel sweep of the eq. 4 / eq. 6 link equations.
+
+    With ``sensitivity = a = 0`` this is eq. 4 (the Tmin condition); with
+    ``a < 0`` it is eq. 6, the constant-sensitivity condition
+    ``dT/dC_IN(i) = a * w_i`` (``w_i = 1`` reproduces the paper exactly;
+    passing area weights yields the KKT-exact minimum-``sum W`` variant).
+    Stages flagged in ``frozen`` keep their current size (used by the
+    local buffer-insertion mode, which sizes only the inserted buffers).
+    """
+    n = len(path)
+    out = sizes.copy()
+    coeffs = effective_a_coeffs(path, out, library)
+    for i in range(1, n):
+        if frozen is not None and frozen[i]:
+            continue
+        ext_i = path.stages[i].cside_ff + (out[i + 1] if i + 1 < n else path.cterm_ff)
+        w_i = 1.0 if area_weights is None else area_weights[i]
+        denominator = coeffs[i - 1] / out[i - 1] - sensitivity * w_i
+        if denominator <= 0:
+            # Sensitivity more negative than the upstream stage can express:
+            # the gate collapses to its minimum drive.
+            out[i] = path.stages[i].cell.cin_min(library.tech)
+            continue
+        target_sq = coeffs[i] * ext_i / denominator
+        out[i] = max(
+            np.sqrt(target_sq), path.stages[i].cell.cin_min(library.tech)
+        )
+    return out
+
+
+def _projected_gradient_polish(
+    path: BoundedPath,
+    sizes: np.ndarray,
+    library: Library,
+    max_steps: int = 60,
+    tol_ps: float = 1e-4,
+    frozen: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Backtracking projected gradient descent on the exact path delay."""
+    current = path.clamp_sizes(sizes, library)
+    t_current = path_delay_ps(path, current, library)
+    step = 1.0  # fF^2 / ps scale; adapted by backtracking
+    for _ in range(max_steps):
+        grad = delay_gradient(path, current, library)
+        if frozen is not None:
+            grad = np.where(frozen, 0.0, grad)
+        norm = float(np.linalg.norm(grad))
+        if norm < 1e-9:
+            break
+        improved = False
+        while step > 1e-6:
+            candidate = path.clamp_sizes(current - step * grad, library)
+            t_candidate = path_delay_ps(path, candidate, library)
+            if t_candidate < t_current - 1e-12:
+                current, t_current = candidate, t_candidate
+                improved = True
+                step *= 1.3
+                break
+            step *= 0.5
+        if not improved or abs(norm) * step < tol_ps:
+            break
+    return current
+
+
+def min_delay_bound(
+    path: BoundedPath,
+    library: Library,
+    cref_ff: Optional[float] = None,
+    max_iterations: int = 200,
+    tol_ps: float = 1e-6,
+    polish: bool = True,
+    start_sizes: Optional[np.ndarray] = None,
+    frozen: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray, List[BoundsHistoryPoint], int]:
+    """``Tmin`` via the eq. 4 fixed point.
+
+    Parameters
+    ----------
+    cref_ff:
+        Seed drive for the backward initial pass.  The paper notes (and
+        our property tests verify) that the converged ``Tmin`` does not
+        depend on this choice; it defaults to the library ``CREF``.
+    start_sizes:
+        Optional explicit starting point (overrides the backward pass);
+        required when some stages are frozen.
+    frozen:
+        Boolean mask of stages whose size must not move (local buffer
+        sizing keeps the original gates untouched).
+
+    Returns ``(tmin, sizes, history, iterations)``.
+    """
+    if cref_ff is None:
+        cref_ff = library.cref
+    if cref_ff <= 0:
+        raise ValueError("cref_ff must be positive")
+    n = len(path)
+    cref_lib = library.cref
+
+    if start_sizes is not None:
+        sizes = path.clamp_sizes(start_sizes, library)
+    else:
+        # Backward initial pass: local eq. 4 solutions with C_IN(i-1) = cref.
+        sizes = path.min_sizes(library)
+        coeffs = effective_a_coeffs(path, sizes, library)
+        for i in range(n - 1, 0, -1):
+            ext_i = path.stages[i].cside_ff + (
+                sizes[i + 1] if i + 1 < n else path.cterm_ff
+            )
+            target_sq = (coeffs[i] / coeffs[i - 1]) * cref_ff * ext_i
+            sizes[i] = max(
+                np.sqrt(target_sq), path.stages[i].cell.cin_min(library.tech)
+            )
+        sizes[0] = path.cin_first_ff
+
+    history: List[BoundsHistoryPoint] = []
+    delay = path_delay_ps(path, sizes, library)
+    history.append(BoundsHistoryPoint(0, float(sizes.sum() / cref_lib), delay))
+
+    iterations = 0
+    for iteration in range(1, max_iterations + 1):
+        iterations = iteration
+        sizes = _link_equation_sweep(path, sizes, library, sensitivity=0.0, frozen=frozen)
+        sizes[0] = path.cin_first_ff
+        new_delay = path_delay_ps(path, sizes, library)
+        history.append(
+            BoundsHistoryPoint(iteration, float(sizes.sum() / cref_lib), new_delay)
+        )
+        if abs(new_delay - delay) < tol_ps:
+            delay = new_delay
+            break
+        delay = new_delay
+
+    if polish and n > 1:
+        sizes = _projected_gradient_polish(path, sizes, library, frozen=frozen)
+        delay = path_delay_ps(path, sizes, library)
+        history.append(
+            BoundsHistoryPoint(iterations + 1, float(sizes.sum() / cref_lib), delay)
+        )
+    return delay, sizes, history, iterations
+
+
+def delay_bounds(
+    path: BoundedPath,
+    library: Library,
+    cref_ff: Optional[float] = None,
+    polish: bool = True,
+) -> DelayBounds:
+    """Compute the full ``(Tmin, Tmax)`` window of a bounded path."""
+    tmax, sizes_max = max_delay_bound(path, library)
+    tmin, sizes_min_delay, history, iterations = min_delay_bound(
+        path, library, cref_ff=cref_ff, polish=polish
+    )
+    return DelayBounds(
+        tmin_ps=tmin,
+        tmax_ps=tmax,
+        sizes_tmin=sizes_min_delay,
+        sizes_tmax=sizes_max,
+        area_tmin_um=path_area_um(path, sizes_min_delay, library),
+        area_tmax_um=path_area_um(path, sizes_max, library),
+        history=tuple(history),
+        iterations=iterations,
+    )

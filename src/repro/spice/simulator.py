@@ -1,0 +1,325 @@
+"""Transistor-level transient simulation of bounded paths.
+
+This is the repository's HSPICE stand-in: an independent, physics-based
+reference against which the closed-form eq. 1-3 model is validated (the
+paper's Fig. 2 and Table 2 "simulation" columns).
+
+Model
+-----
+* Each gate is reduced to its switching arc: the on-path transistor pair
+  with series stacks folded into effective widths (``W / stack``), side
+  inputs held at their non-controlling values.  Composite cells (BUF,
+  AND, OR, XOR) are expanded into their inverting primitive stages first.
+* Devices follow the Sakurai--Newton alpha-power law
+  (:mod:`repro.process.transistor`), evaluated vectorised over all nodes.
+* Node dynamics include the gate input/output coupling capacitance
+  ``C_M`` as a tridiagonal capacitance matrix -- the Miller effect the
+  eq. 1 coupling factor approximates -- plus junction, side and terminal
+  loads.
+* Integration: fixed-step RK4 on ``M dV/dt = I(V, t)``.
+
+Units: fF, ps, V, mA throughout (consistent: mA = fF*V/ps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.cell import Cell
+from repro.cells.gate_types import GateKind
+from repro.cells.library import Library
+from repro.process.transistor import nmos_for, pmos_for
+from repro.spice.waveform import delay_50, ramp_input, transition_time
+from repro.timing.delay_model import Edge
+from repro.timing.evaluation import evaluate_path
+from repro.timing.path import BoundedPath
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Transient analysis controls.
+
+    Attributes
+    ----------
+    n_steps:
+        RK4 steps over the full window.
+    t_end_ps:
+        Simulation window; ``None`` auto-sizes it from the closed-form
+        path delay (3x + input transition margin).
+    input_transition_ps:
+        Full-swing ramp time of the stimulus.
+    """
+
+    n_steps: int = 4000
+    t_end_ps: Optional[float] = None
+    input_transition_ps: float = 20.0
+
+
+@dataclass(frozen=True)
+class ChainSimResult:
+    """Waveforms and measurements of one path transient.
+
+    Attributes
+    ----------
+    times_ps / input_volts / node_volts:
+        Raw waveforms; ``node_volts[i]`` is primitive stage ``i``'s output.
+    stage_map:
+        For each *path* stage, the primitive node index of its output.
+    path_delay_ps:
+        50% input to 50% last-output propagation delay.
+    stage_delays_ps:
+        Per path-stage 50%-50% delays.
+    stage_transitions_ps:
+        Full-swing-equivalent output transition per path stage.
+    """
+
+    times_ps: np.ndarray
+    input_volts: np.ndarray
+    node_volts: np.ndarray
+    stage_map: Tuple[int, ...]
+    path_delay_ps: float
+    stage_delays_ps: Tuple[float, ...]
+    stage_transitions_ps: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class _PrimStage:
+    """One inverting primitive stage of the expanded chain."""
+
+    wn_eff_um: float
+    wp_eff_um: float
+    cm_ff: float
+    cnode_ff: float  # junction + side + downstream input caps (no CM)
+
+
+_COMPOSITE_EXPANSION = {
+    GateKind.BUF: (GateKind.INV, GateKind.INV),
+    GateKind.AND2: (GateKind.NAND2, GateKind.INV),
+    GateKind.AND3: (GateKind.NAND3, GateKind.INV),
+    GateKind.AND4: (GateKind.NAND4, GateKind.INV),
+    GateKind.OR2: (GateKind.NOR2, GateKind.INV),
+    GateKind.OR3: (GateKind.NOR3, GateKind.INV),
+    GateKind.OR4: (GateKind.NOR4, GateKind.INV),
+    # XOR/XNOR switching arc: two NAND-like stages.
+    GateKind.XOR2: (GateKind.NAND2, GateKind.NAND2),
+    GateKind.XNOR2: (GateKind.NAND2, GateKind.NAND2),
+}
+
+
+def _expand_stages(
+    path: BoundedPath, sizes: np.ndarray, library: Library
+) -> Tuple[List[Tuple[Cell, float, float]], Tuple[int, ...]]:
+    """Expand composites; returns [(cell, cin, cside)], and per-path-stage
+    primitive output indices."""
+    expanded: List[Tuple[Cell, float, float]] = []
+    stage_map: List[int] = []
+    for stage, cin in zip(path.stages, sizes):
+        kind = stage.cell.kind
+        if kind in _COMPOSITE_EXPANSION:
+            first_kind, second_kind = _COMPOSITE_EXPANSION[kind]
+            first = library.cell(first_kind)
+            second = library.cell(second_kind)
+            # Internal stage sized like the input stage: the usual
+            # composite-cell layout choice.
+            expanded.append((first, cin, 0.0))
+            expanded.append((second, cin, stage.cside_ff))
+        else:
+            expanded.append((stage.cell, cin, stage.cside_ff))
+        stage_map.append(len(expanded) - 1)
+    return expanded, tuple(stage_map)
+
+
+def _alpha_power_current(
+    widths_um: np.ndarray,
+    vgs: np.ndarray,
+    vds: np.ndarray,
+    beta: float,
+    vt: float,
+    alpha: float,
+    vd0_coeff: float,
+) -> np.ndarray:
+    """Vectorised Sakurai--Newton drain current (mA)."""
+    vgst = np.maximum(vgs - vt, 0.0)
+    vds_pos = np.maximum(vds, 0.0)
+    i_sat = beta * widths_um * vgst**alpha
+    vd0 = vd0_coeff * vgst ** (alpha / 2.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x = np.where(vd0 > 0, vds_pos / np.where(vd0 > 0, vd0, 1.0), np.inf)
+    triode = i_sat * np.clip(x, 0.0, 1.0) * (2.0 - np.clip(x, 0.0, 1.0))
+    return np.where(x >= 1.0, i_sat, triode)
+
+
+def simulate_path(
+    path: BoundedPath,
+    sizes: Sequence[float],
+    library: Library,
+    options: Optional[SimOptions] = None,
+) -> ChainSimResult:
+    """Transient-simulate a sized path and measure its delays."""
+    if options is None:
+        options = SimOptions()
+    tech = library.tech
+    vdd = tech.vdd
+    arr = np.asarray(sizes, dtype=float).copy()
+    if arr.shape != (len(path),):
+        raise ValueError(f"expected {len(path)} sizes, got shape {arr.shape}")
+    arr[0] = path.cin_first_ff
+
+    prim, stage_map = _expand_stages(path, arr, library)
+    m = len(prim)
+    input_rising = path.input_edge is Edge.RISE
+
+    # Assemble per-node electrical data.
+    stages: List[_PrimStage] = []
+    for i, (cell, cin, cside) in enumerate(prim):
+        wn, wp = cell.wn_wp_um(cin, tech)
+        downstream = prim[i + 1][1] if i + 1 < m else path.cterm_ff
+        cnode = cell.parasitic_cap(cin) + cside + downstream
+        # Simulation-side C_M: mean of the two per-edge values (the edge
+        # alternates stage to stage anyway).
+        cm = 0.5 * (cell.coupling_cap(cin, True) + cell.coupling_cap(cin, False))
+        stages.append(
+            _PrimStage(
+                wn_eff_um=wn / cell.stack_n,
+                wp_eff_um=wp / cell.stack_p,
+                cm_ff=cm,
+                cnode_ff=cnode,
+            )
+        )
+
+    wn_eff = np.array([s.wn_eff_um for s in stages])
+    wp_eff = np.array([s.wp_eff_um for s in stages])
+    cm = np.array([s.cm_ff for s in stages])
+    cnode = np.array([s.cnode_ff for s in stages])
+
+    # Capacitance matrix: node i couples to its driving node (i-1 or the
+    # source) through cm[i], and to node i+1 through cm[i+1].
+    matrix = np.zeros((m, m))
+    for i in range(m):
+        matrix[i, i] = cnode[i] + cm[i]
+        if i + 1 < m:
+            matrix[i, i] += cm[i + 1]
+            matrix[i, i + 1] -= cm[i + 1]
+            matrix[i + 1, i] -= cm[i + 1]
+    m_inv = np.linalg.inv(matrix)
+
+    nmos = nmos_for(tech)
+    pmos = pmos_for(tech)
+
+    if options.t_end_ps is not None:
+        t_end = options.t_end_ps
+    else:
+        model = evaluate_path(path, arr, library)
+        t_end = 3.0 * model.total_delay_ps + 10.0 * options.input_transition_ps + 50.0
+    t_start = 2.0 * options.input_transition_ps + 10.0
+    times = np.linspace(0.0, t_end, options.n_steps + 1)
+    dt = times[1] - times[0]
+
+    vin_t = ramp_input(times, vdd, input_rising, t_start, options.input_transition_ps)
+    slope = vdd / options.input_transition_ps if options.input_transition_ps > 0 else 0.0
+
+    def input_level(t: float) -> float:
+        if options.input_transition_ps == 0:
+            level = vdd if t >= t_start else 0.0
+        else:
+            frac = np.clip((t - t_start) / options.input_transition_ps, 0.0, 1.0)
+            level = vdd * frac
+        return level if input_rising else vdd - level
+
+    def input_slope(t: float) -> float:
+        if options.input_transition_ps == 0:
+            return 0.0
+        inside = t_start <= t <= t_start + options.input_transition_ps
+        if not inside:
+            return 0.0
+        return slope if input_rising else -slope
+
+    def derivative(t: float, v: np.ndarray) -> np.ndarray:
+        vin = np.empty(m)
+        vin[0] = input_level(t)
+        vin[1:] = v[:-1]
+        i_n = _alpha_power_current(
+            wn_eff, vin, v, nmos.beta_ma_per_um, nmos.vt, nmos.alpha, nmos.vd0_per_vgst
+        )
+        i_p = _alpha_power_current(
+            wp_eff, vdd - vin, vdd - v, pmos.beta_ma_per_um, pmos.vt, pmos.alpha,
+            pmos.vd0_per_vgst,
+        )
+        rhs = i_p - i_n
+        rhs[0] += cm[0] * input_slope(t)
+        return m_inv @ rhs
+
+    # DC initial condition: primitives are all inverting.
+    v = np.empty(m)
+    level = 0.0 if input_rising else vdd
+    for i in range(m):
+        level = vdd - level
+        v[i] = level
+
+    history = np.empty((m, times.size))
+    history[:, 0] = v
+    for step in range(times.size - 1):
+        t = times[step]
+        k1 = derivative(t, v)
+        k2 = derivative(t + 0.5 * dt, v + 0.5 * dt * k1)
+        k3 = derivative(t + 0.5 * dt, v + 0.5 * dt * k2)
+        k4 = derivative(t + dt, v + dt * k3)
+        v = v + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        v = np.clip(v, -0.5 * vdd, 1.5 * vdd)
+        history[:, step + 1] = v
+
+    # Measurements on the original path stages.
+    stage_delays: List[float] = []
+    stage_transitions: List[float] = []
+    prev_wave = vin_t
+    prev_rising = input_rising
+    for path_index, node_index in enumerate(stage_map):
+        wave = history[node_index]
+        # Polarity at this output.
+        edge = path.edge_at(path_index)
+        cell = path.stages[path_index].cell
+        out_rising = (edge is Edge.RISE) != cell.inverting
+        stage_delays.append(
+            delay_50(times, prev_wave, wave, vdd, prev_rising, out_rising)
+        )
+        stage_transitions.append(transition_time(times, wave, vdd, out_rising))
+        prev_wave = wave
+        prev_rising = out_rising
+
+    last_wave = history[stage_map[-1]]
+    last_rising = prev_rising
+    path_delay = delay_50(times, vin_t, last_wave, vdd, input_rising, last_rising)
+
+    return ChainSimResult(
+        times_ps=times,
+        input_volts=vin_t,
+        node_volts=history,
+        stage_map=stage_map,
+        path_delay_ps=path_delay,
+        stage_delays_ps=tuple(stage_delays),
+        stage_transitions_ps=tuple(stage_transitions),
+    )
+
+
+def simulate_gate(
+    kind: GateKind,
+    library: Library,
+    cin_ff: float,
+    cload_ff: float,
+    input_edge: Edge = Edge.RISE,
+    options: Optional[SimOptions] = None,
+) -> ChainSimResult:
+    """Single-gate transient (Table 2 style characterisation helper)."""
+    from repro.timing.path import make_path
+
+    path = make_path(
+        [kind],
+        library,
+        cin_first_ff=cin_ff,
+        cterm_ff=cload_ff,
+        input_edge=input_edge,
+    )
+    return simulate_path(path, [cin_ff], library, options=options)

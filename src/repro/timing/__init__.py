@@ -1,0 +1,77 @@
+"""Timing engine: closed-form delay model, bounded paths, evaluation, STA."""
+
+from repro.timing.delay_model import (
+    Edge,
+    GateTiming,
+    coupling_factor,
+    fanout_four_delay,
+    gate_delay,
+    output_edge_for,
+    output_transition_time,
+    total_load,
+)
+from repro.timing.evaluation import (
+    PathTiming,
+    delay_gradient,
+    delay_gradient_numeric,
+    effective_a_coeffs,
+    evaluate_path,
+    path_area_um,
+    path_delay_ps,
+    stage_external_loads,
+    stage_fanout_ratios,
+)
+from repro.timing.path import BoundedPath, PathStage, make_path
+from repro.timing.sta import (
+    ArrivalEvent,
+    StaResult,
+    analyze,
+    external_loads,
+    gate_sizes,
+    trace_critical_gates,
+)
+from repro.timing.report import EndpointSlack, TimingReport, timing_report
+from repro.timing.critical_paths import (
+    ExtractedPath,
+    apply_path_sizes,
+    critical_path,
+    k_critical_paths,
+    to_bounded_path,
+)
+
+__all__ = [
+    "Edge",
+    "GateTiming",
+    "gate_delay",
+    "output_transition_time",
+    "output_edge_for",
+    "coupling_factor",
+    "total_load",
+    "fanout_four_delay",
+    "BoundedPath",
+    "PathStage",
+    "make_path",
+    "PathTiming",
+    "evaluate_path",
+    "path_delay_ps",
+    "path_area_um",
+    "delay_gradient",
+    "delay_gradient_numeric",
+    "effective_a_coeffs",
+    "stage_external_loads",
+    "stage_fanout_ratios",
+    "ArrivalEvent",
+    "StaResult",
+    "analyze",
+    "external_loads",
+    "gate_sizes",
+    "trace_critical_gates",
+    "ExtractedPath",
+    "critical_path",
+    "k_critical_paths",
+    "to_bounded_path",
+    "apply_path_sizes",
+    "TimingReport",
+    "EndpointSlack",
+    "timing_report",
+]

@@ -1,0 +1,304 @@
+"""Path delay evaluation, analytic coefficients and gradients.
+
+This module turns a :class:`~repro.timing.path.BoundedPath` plus a sizing
+vector into the quantities every optimizer consumes:
+
+* the total path delay and per-stage breakdown (:func:`evaluate_path`);
+* the *effective* eq. 4 coefficients ``A_i`` (:func:`effective_a_coeffs`),
+  i.e. the weight of the ``load / C_IN`` term of each stage once the
+  slope contribution to the *next* stage and the coupling factor are
+  folded in;
+* the exact gradient ``dT/dC_IN`` (:func:`delay_gradient`) -- closed-form,
+  O(n), including the Miller-factor derivatives the eq. 4 surrogate
+  drops; a central-difference fallback
+  (:func:`delay_gradient_numeric`) cross-checks it in the tests;
+* the area metric ``sum W`` (:func:`path_area_um`).
+
+Because the optimizers evaluate paths tens of thousands of times, the
+per-stage model constants (symmetry factors, thresholds, coupling and
+parasitic coefficients -- all functions of the *structure*, not the
+sizing) are computed once per (path, technology) pair and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.library import Library
+from repro.process.technology import Technology
+from repro.timing.delay_model import Edge, output_edge_for
+from repro.timing.path import BoundedPath
+
+
+@dataclass(frozen=True)
+class PathTiming:
+    """Detailed timing of a sized path.
+
+    Attributes
+    ----------
+    total_delay_ps:
+        Sum of stage delays -- the path delay the paper constrains.
+    stage_delays_ps / stage_tout_ps:
+        Per-stage eq. 1 delays and eq. 2 output transitions.
+    stage_loads_ff:
+        Total load (parasitic + side + next C_IN or terminal) per stage.
+    edges:
+        Switching-input polarity per stage.
+    """
+
+    total_delay_ps: float
+    stage_delays_ps: Tuple[float, ...]
+    stage_tout_ps: Tuple[float, ...]
+    stage_loads_ff: Tuple[float, ...]
+    edges: Tuple[Edge, ...]
+
+
+@dataclass(frozen=True)
+class _PathConstants:
+    """Structure-only model constants of one (path, technology) pair.
+
+    ``s`` -- per-stage eq. 2 symmetry factor times tau;
+    ``vt`` -- per-stage reduced threshold of the switching input edge;
+    ``m`` -- coupling capacitance per unit of input capacitance;
+    ``p`` -- parasitic (junction) capacitance per unit of input cap;
+    ``cside`` -- fixed off-path load per stage;
+    ``edges`` -- input edge per stage.
+    """
+
+    s_tau: Tuple[float, ...]
+    vt: Tuple[float, ...]
+    m: Tuple[float, ...]
+    p: Tuple[float, ...]
+    cside: Tuple[float, ...]
+    edges: Tuple[Edge, ...]
+
+
+@lru_cache(maxsize=4096)
+def _constants(path: BoundedPath, tech: Technology) -> _PathConstants:
+    s_tau = []
+    vt = []
+    m = []
+    p = []
+    cside = []
+    edges = []
+    edge = path.input_edge
+    for stage in path.stages:
+        cell = stage.cell
+        out_edge = output_edge_for(cell, edge)
+        s = cell.s_hl(tech) if out_edge is Edge.FALL else cell.s_lh(tech)
+        s_tau.append(s * tech.tau_ps)
+        vt.append(tech.vtn_reduced if edge is Edge.RISE else tech.vtp_reduced)
+        m.append(cell.coupling_cap(1.0, input_rising=edge is Edge.RISE))
+        p.append(cell.p_intrinsic)
+        cside.append(stage.cside_ff)
+        edges.append(edge)
+        edge = out_edge
+    return _PathConstants(
+        s_tau=tuple(s_tau),
+        vt=tuple(vt),
+        m=tuple(m),
+        p=tuple(p),
+        cside=tuple(cside),
+        edges=tuple(edges),
+    )
+
+
+def _check_sizes(path: BoundedPath, sizes: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(sizes, dtype=float).copy()
+    if arr.shape != (len(path),):
+        raise ValueError(f"expected {len(path)} sizes, got shape {arr.shape}")
+    if np.any(arr <= 0):
+        raise ValueError("all sizes must be positive")
+    arr[0] = path.cin_first_ff
+    return arr
+
+
+def stage_external_loads(path: BoundedPath, sizes: np.ndarray) -> np.ndarray:
+    """External (non-parasitic) load of each stage for a sizing vector."""
+    n = len(path)
+    loads = np.empty(n)
+    for i in range(n):
+        downstream = sizes[i + 1] if i + 1 < n else path.cterm_ff
+        loads[i] = path.stages[i].cside_ff + downstream
+    return loads
+
+
+def evaluate_path(path: BoundedPath, sizes: Sequence[float], library: Library) -> PathTiming:
+    """Evaluate the eq. 1 delay of ``path`` under ``sizes``.
+
+    ``sizes[0]`` is forced to the path's fixed first drive; interior sizes
+    are used as given (callers clamp to CREF beforehand when needed).
+    """
+    arr = _check_sizes(path, sizes)
+    k = _constants(path, library.tech)
+    n = len(path)
+
+    delays = []
+    touts = []
+    loads_total = []
+    tin = path.tin_first_ps
+    for i in range(n):
+        c = arr[i]
+        downstream = arr[i + 1] if i + 1 < n else path.cterm_ff
+        cl = k.p[i] * c + k.cside[i] + downstream
+        tout = k.s_tau[i] * cl / c
+        cm = k.m[i] * c
+        coupling = 1.0 + 2.0 * cm / (cm + cl)
+        delays.append(0.5 * k.vt[i] * tin + 0.5 * coupling * tout)
+        touts.append(tout)
+        loads_total.append(cl)
+        tin = tout
+    return PathTiming(
+        total_delay_ps=float(sum(delays)),
+        stage_delays_ps=tuple(delays),
+        stage_tout_ps=tuple(touts),
+        stage_loads_ff=tuple(loads_total),
+        edges=k.edges,
+    )
+
+
+def path_delay_ps(path: BoundedPath, sizes: Sequence[float], library: Library) -> float:
+    """Total path delay (ps) -- the optimizers' hot loop."""
+    arr = _check_sizes(path, sizes)
+    k = _constants(path, library.tech)
+    n = len(path)
+    total = 0.0
+    tin = path.tin_first_ps
+    for i in range(n):
+        c = arr[i]
+        downstream = arr[i + 1] if i + 1 < n else path.cterm_ff
+        cl = k.p[i] * c + k.cside[i] + downstream
+        tout = k.s_tau[i] * cl / c
+        cm = k.m[i] * c
+        total += 0.5 * k.vt[i] * tin + 0.5 * (1.0 + 2.0 * cm / (cm + cl)) * tout
+        tin = tout
+    return total
+
+
+def path_area_um(path: BoundedPath, sizes: Sequence[float], library: Library) -> float:
+    """Area metric ``sum W`` (um) of the sized path (paper's Figs. 4/8)."""
+    arr = np.asarray(sizes, dtype=float)
+    if arr.shape != (len(path),):
+        raise ValueError(f"expected {len(path)} sizes, got shape {arr.shape}")
+    return float(
+        sum(
+            stage.cell.total_width_um(c, library.tech)
+            for stage, c in zip(path.stages, arr)
+        )
+    )
+
+
+def effective_a_coeffs(
+    path: BoundedPath, sizes: np.ndarray, library: Library
+) -> np.ndarray:
+    """Effective eq. 4 coefficients ``A_i`` at the current sizing point.
+
+    Writing the path delay as ``T = sum_i A_i * C_L_total(i) / C_IN(i)``
+    (plus the fixed input-slope term), the coefficient of stage ``i``
+    collects its own coupling factor and the slope contribution of its
+    output transition to stage ``i+1``::
+
+        A_i = (K_i / 2 + v_T(i+1) / 2) * S_i * tau
+
+    The ``A_i`` depend (weakly) on the sizing through ``K_i``; the eq. 4 /
+    eq. 6 solvers therefore recompute them every sweep (Gauss-Seidel).
+    """
+    arr = np.asarray(sizes, dtype=float)
+    k = _constants(path, library.tech)
+    n = len(path)
+    coeffs = np.empty(n)
+    for i in range(n):
+        c = arr[i]
+        downstream = arr[i + 1] if i + 1 < n else path.cterm_ff
+        cl = k.p[i] * c + k.cside[i] + downstream
+        cm = k.m[i] * c
+        weight = 0.5 * (1.0 + 2.0 * cm / (cm + cl))
+        if i + 1 < n:
+            weight += 0.5 * k.vt[i + 1]
+        coeffs[i] = weight * k.s_tau[i]
+    return coeffs
+
+
+def delay_gradient(
+    path: BoundedPath,
+    sizes: Sequence[float],
+    library: Library,
+) -> np.ndarray:
+    """Exact closed-form gradient ``dT/dC_IN(i)`` in ps/fF, O(n).
+
+    Includes every dependency of eq. 1 on the sizes: the load and drive
+    terms of the transition times, the downstream slope contribution and
+    the Miller coupling factor's own derivatives.  Component 0 is 0: the
+    first drive is a fixed boundary condition, not a free variable.
+    """
+    arr = _check_sizes(path, sizes)
+    k = _constants(path, library.tech)
+    n = len(path)
+
+    # Forward quantities.
+    cl = np.empty(n)
+    tout = np.empty(n)
+    cm = np.empty(n)
+    kf = np.empty(n)  # coupling factor K_i
+    for i in range(n):
+        c = arr[i]
+        downstream = arr[i + 1] if i + 1 < n else path.cterm_ff
+        cl[i] = k.p[i] * c + k.cside[i] + downstream
+        tout[i] = k.s_tau[i] * cl[i] / c
+        cm[i] = k.m[i] * c
+        kf[i] = 1.0 + 2.0 * cm[i] / (cm[i] + cl[i])
+
+    # Weight of tout_i in T: its own K_i/2 plus the next stage's slope.
+    w = 0.5 * kf.copy()
+    w[: n - 1] += 0.5 * np.asarray(k.vt[1:])
+
+    grad = np.zeros(n)
+    for j in range(1, n):
+        c = arr[j]
+        denominator = (cm[j] + cl[j]) ** 2
+        # d tout_j / d c_j: only the external part of the load divides c.
+        ext_j = cl[j] - k.p[j] * c
+        dtout_j = -k.s_tau[j] * ext_j / c**2
+        # d K_j / d c_j through cm (m_j) and cl (p_j).
+        dk_j = (2.0 * cl[j] * k.m[j] - 2.0 * cm[j] * k.p[j]) / denominator
+        value = w[j] * dtout_j + 0.5 * tout[j] * dk_j
+
+        # Upstream stage j-1 sees c_j in its load.
+        i = j - 1
+        dtout_i = k.s_tau[i] / arr[i]
+        dk_i = -2.0 * cm[i] / (cm[i] + cl[i]) ** 2
+        value += w[i] * dtout_i + 0.5 * tout[i] * dk_i
+        grad[j] = value
+    return grad
+
+
+def delay_gradient_numeric(
+    path: BoundedPath,
+    sizes: Sequence[float],
+    library: Library,
+    rel_step: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient; the analytic form's cross-check."""
+    arr = _check_sizes(path, sizes)
+    grad = np.zeros(len(arr))
+    for i in range(1, len(arr)):
+        h = max(arr[i] * rel_step, 1e-9)
+        up = arr.copy()
+        up[i] += h
+        down = arr.copy()
+        down[i] -= h
+        t_up = path_delay_ps(path, up, library)
+        t_down = path_delay_ps(path, down, library)
+        grad[i] = (t_up - t_down) / (2.0 * h)
+    return grad
+
+
+def stage_fanout_ratios(path: BoundedPath, sizes: Sequence[float]) -> np.ndarray:
+    """Fan-out ratio ``F = C_L / C_IN`` per stage (buffering metric input)."""
+    arr = np.asarray(sizes, dtype=float)
+    ext = stage_external_loads(path, arr)
+    return ext / arr

@@ -1,0 +1,133 @@
+"""Human-readable timing reports on circuits: slacks, worst paths, slews.
+
+The classic post-STA artifacts a designer reads before and after running
+the optimization protocol.  Pure formatting/aggregation on top of
+:mod:`repro.timing.sta` and :mod:`repro.timing.critical_paths`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cells.library import Library
+from repro.netlist.circuit import Circuit
+from repro.timing.critical_paths import k_critical_paths
+from repro.timing.delay_model import Edge
+from repro.timing.sta import StaResult, analyze
+
+
+@dataclass(frozen=True)
+class EndpointSlack:
+    """Arrival and slack at one primary output."""
+
+    net: str
+    edge: Edge
+    arrival_ps: float
+    slack_ps: float
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Full timing annotation summary of a sized circuit.
+
+    Attributes
+    ----------
+    tc_ps:
+        The constraint the slacks are measured against.
+    endpoints:
+        Per primary output worst arrival and slack, worst first.
+    worst_paths:
+        Gate-name chains of the K worst paths with their delays.
+    violated:
+        Number of endpoints missing the constraint.
+    """
+
+    circuit_name: str
+    tc_ps: float
+    critical_delay_ps: float
+    endpoints: Tuple[EndpointSlack, ...]
+    worst_paths: Tuple[Tuple[Tuple[str, ...], float], ...]
+    max_transition_ps: float
+
+    @property
+    def violated(self) -> int:
+        """Number of endpoints missing the constraint."""
+        return sum(1 for e in self.endpoints if e.slack_ps < 0)
+
+    @property
+    def worst_slack_ps(self) -> float:
+        """Minimum endpoint slack (negative when timing is violated)."""
+        return min(e.slack_ps for e in self.endpoints)
+
+    def render(self) -> str:
+        """Multi-line textual report (the classic ``report_timing`` look)."""
+        lines = [
+            f"Timing report -- {self.circuit_name}",
+            f"  constraint      : {self.tc_ps:.1f} ps",
+            f"  critical delay  : {self.critical_delay_ps:.1f} ps",
+            f"  worst slack     : {self.worst_slack_ps:+.1f} ps"
+            f"  ({self.violated} violated endpoint(s))",
+            f"  max transition  : {self.max_transition_ps:.1f} ps",
+            "  endpoints (worst first):",
+        ]
+        for endpoint in self.endpoints[:10]:
+            lines.append(
+                f"    {endpoint.net:<16} {endpoint.edge.value:<5}"
+                f" arrival {endpoint.arrival_ps:8.1f}"
+                f"  slack {endpoint.slack_ps:+8.1f}"
+            )
+        for index, (gates, delay) in enumerate(self.worst_paths, start=1):
+            shown = " -> ".join(gates[:6]) + (" ..." if len(gates) > 6 else "")
+            lines.append(f"  path #{index} ({delay:.1f} ps): {shown}")
+        return "\n".join(lines)
+
+
+def timing_report(
+    circuit: Circuit,
+    library: Library,
+    tc_ps: float,
+    k_paths: int = 3,
+    sta: Optional[StaResult] = None,
+) -> TimingReport:
+    """Build a :class:`TimingReport` for a (possibly sized) circuit."""
+    if tc_ps <= 0:
+        raise ValueError("tc_ps must be positive")
+    if sta is None:
+        sta = analyze(circuit, library)
+
+    endpoints: List[EndpointSlack] = []
+    for net in circuit.outputs:
+        per_net = sta.arrivals.get(net, {})
+        if not per_net:
+            continue
+        edge, event = max(per_net.items(), key=lambda item: item[1].time_ps)
+        endpoints.append(
+            EndpointSlack(
+                net=net,
+                edge=edge,
+                arrival_ps=event.time_ps,
+                slack_ps=tc_ps - event.time_ps,
+            )
+        )
+    endpoints.sort(key=lambda e: e.slack_ps)
+
+    paths = k_critical_paths(circuit, library, k=k_paths)
+    worst = tuple((p.gate_names, p.delay_ps) for p in paths)
+
+    max_transition = max(
+        (
+            event.transition_ps
+            for per_net in sta.arrivals.values()
+            for event in per_net.values()
+        ),
+        default=0.0,
+    )
+    return TimingReport(
+        circuit_name=circuit.name,
+        tc_ps=tc_ps,
+        critical_delay_ps=sta.critical_delay_ps,
+        endpoints=tuple(endpoints),
+        worst_paths=worst,
+        max_transition_ps=max_transition,
+    )

@@ -1,0 +1,177 @@
+"""Static timing analysis on sized circuit DAGs.
+
+Polarity-aware block-based STA using the eq. 1 delay model: every net
+carries separate rising/falling arrival times and transition times; gate
+arcs map input polarity to output polarity through the cell's inversion
+property.  Loads are assembled from the fan-out input capacitances plus a
+configurable primary-output (register) load, exactly the bounded-path
+boundary conditions of the paper lifted to whole circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.cells.library import Library
+from repro.netlist.circuit import Circuit
+from repro.netlist.wireload import WireLoadModel
+from repro.timing.delay_model import Edge, gate_delay
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """Latest arrival of one polarity at a net."""
+
+    time_ps: float
+    transition_ps: float
+    #: (driving net, input edge at that driver) or None at primary inputs.
+    cause: Optional[Tuple[str, Edge]] = None
+
+
+@dataclass
+class StaResult:
+    """Full-circuit timing annotation.
+
+    Attributes
+    ----------
+    arrivals:
+        ``net -> {Edge -> ArrivalEvent}``.
+    loads_ff:
+        External load seen by each gate output.
+    critical_delay_ps:
+        Worst arrival over all primary outputs and polarities.
+    critical_output:
+        The (net, edge) achieving it.
+    """
+
+    arrivals: Dict[str, Dict[Edge, ArrivalEvent]]
+    loads_ff: Dict[str, float]
+    critical_delay_ps: float
+    critical_output: Tuple[str, Edge]
+
+    def arrival(self, net: str, edge: Edge) -> float:
+        """Arrival time of ``edge`` at ``net`` (ps)."""
+        return self.arrivals[net][edge].time_ps
+
+
+def gate_sizes(circuit: Circuit, library: Library) -> Dict[str, float]:
+    """Current per-gate input capacitance, defaulting to the cell minimum."""
+    sizes: Dict[str, float] = {}
+    for gate in circuit.gates.values():
+        cell = library.cell(gate.kind)
+        sizes[gate.name] = (
+            gate.cin_ff if gate.cin_ff is not None else cell.cin_min(library.tech)
+        )
+    return sizes
+
+
+def external_loads(
+    circuit: Circuit,
+    library: Library,
+    output_load_ff: Optional[float] = None,
+    sizes: Optional[Mapping[str, float]] = None,
+    wire_model: Optional["WireLoadModel"] = None,
+) -> Dict[str, float]:
+    """External load (fF) at every gate output.
+
+    Fan-out gate input capacitances, plus ``output_load_ff`` on every
+    primary output net (default: four reference inverters -- a register
+    input), plus -- when a :class:`~repro.netlist.wireload.WireLoadModel`
+    is supplied -- the fan-out based routing estimate.
+    """
+    if output_load_ff is None:
+        output_load_ff = 4.0 * library.cref
+    if sizes is None:
+        sizes = gate_sizes(circuit, library)
+    loads: Dict[str, float] = {}
+    fanout = circuit.fanout_map()
+    output_set = set(circuit.outputs)
+    for name in circuit.gates:
+        sinks = fanout.get(name, ())
+        load = sum(sizes[succ] for succ in sinks)
+        n_sinks = len(sinks)
+        if name in output_set:
+            load += output_load_ff
+            n_sinks += 1
+        if wire_model is not None:
+            load += wire_model.wire_cap_ff(n_sinks)
+        loads[name] = load
+    return loads
+
+
+def analyze(
+    circuit: Circuit,
+    library: Library,
+    input_transition_ps: float = 0.0,
+    output_load_ff: Optional[float] = None,
+    sizes: Optional[Mapping[str, float]] = None,
+    wire_model: Optional["WireLoadModel"] = None,
+) -> StaResult:
+    """Run polarity-aware STA; returns arrivals and the critical delay."""
+    circuit.validate()
+    if sizes is None:
+        sizes = gate_sizes(circuit, library)
+    loads = external_loads(circuit, library, output_load_ff, sizes, wire_model)
+
+    arrivals: Dict[str, Dict[Edge, ArrivalEvent]] = {}
+    for net in circuit.inputs:
+        arrivals[net] = {
+            Edge.RISE: ArrivalEvent(0.0, input_transition_ps),
+            Edge.FALL: ArrivalEvent(0.0, input_transition_ps),
+        }
+
+    for name in circuit.topological_order():
+        gate = circuit.gates[name]
+        cell = library.cell(gate.kind)
+        best: Dict[Edge, ArrivalEvent] = {}
+        for source in gate.fanin:
+            for in_edge, event in arrivals[source].items():
+                timing = gate_delay(
+                    cell,
+                    library.tech,
+                    sizes[name],
+                    loads[name],
+                    event.transition_ps,
+                    in_edge,
+                )
+                candidate = ArrivalEvent(
+                    time_ps=event.time_ps + timing.delay_ps,
+                    transition_ps=timing.tout_ps,
+                    cause=(source, in_edge),
+                )
+                current = best.get(timing.output_edge)
+                if current is None or candidate.time_ps > current.time_ps:
+                    best[timing.output_edge] = candidate
+        arrivals[name] = best
+
+    critical_time = -1.0
+    critical: Tuple[str, Edge] = ("", Edge.RISE)
+    for net in circuit.outputs:
+        for edge, event in arrivals[net].items():
+            if event.time_ps > critical_time:
+                critical_time = event.time_ps
+                critical = (net, edge)
+    if critical_time < 0:
+        raise ValueError("circuit has no timed outputs")
+    return StaResult(
+        arrivals=arrivals,
+        loads_ff=loads,
+        critical_delay_ps=critical_time,
+        critical_output=critical,
+    )
+
+
+def trace_critical_gates(result: StaResult, circuit: Circuit) -> List[str]:
+    """Backtrack the critical path; returns gate names input-side first."""
+    net, edge = result.critical_output
+    chain: List[str] = []
+    while net in circuit.gates:
+        chain.append(net)
+        event = result.arrivals[net][edge]
+        if event.cause is None:
+            break
+        source, in_edge = event.cause
+        net, edge = source, in_edge
+    chain.reverse()
+    return chain

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.cells.library import default_library
+from repro.process.technology import CMOS025
+from repro.timing.path import make_path
+
+
+@pytest.fixture(scope="session")
+def lib():
+    """The default 0.25 um library (immutable; safe to share)."""
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return CMOS025
+
+
+@pytest.fixture()
+def short_path(lib):
+    """A 4-stage mixed path with a healthy terminal load."""
+    return make_path(
+        [GateKind.INV, GateKind.NAND2, GateKind.NOR2, GateKind.INV],
+        lib,
+        cterm_ff=20.0 * lib.cref,
+    )
+
+
+@pytest.fixture()
+def eleven_gate_path(lib):
+    """The Fig. 1 / Fig. 3 style 11-gate path."""
+    kinds = [
+        GateKind.INV,
+        GateKind.NAND2,
+        GateKind.NOR2,
+        GateKind.INV,
+        GateKind.NAND3,
+        GateKind.INV,
+        GateKind.NOR3,
+        GateKind.INV,
+        GateKind.NAND2,
+        GateKind.INV,
+        GateKind.INV,
+    ]
+    return make_path(kinds, lib, cterm_ff=40.0 * lib.cref)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

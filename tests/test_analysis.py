@@ -1,0 +1,113 @@
+"""Tests for area, activity and power analysis."""
+
+import pytest
+
+from repro.analysis.activity import estimate_activity
+from repro.analysis.area import (
+    area_by_kind_um,
+    circuit_area_um,
+    total_input_capacitance_ff,
+)
+from repro.analysis.power import estimate_power
+from repro.cells.gate_types import GateKind
+from repro.netlist.builders import inverter_chain, parity_tree, ripple_carry_adder
+from repro.netlist.circuit import Circuit
+
+
+class TestArea:
+    def test_chain_area(self, lib):
+        chain = inverter_chain(3)
+        min_inv = lib.inverter.cin_min(lib.tech)
+        expected = 3 * lib.inverter.total_width_um(min_inv, lib.tech)
+        assert circuit_area_um(chain, lib) == pytest.approx(expected)
+
+    def test_sized_gates_counted(self, lib):
+        chain = inverter_chain(3)
+        chain.gates["n1"].cin_ff = 10.0 * lib.cref
+        bigger = circuit_area_um(chain, lib)
+        chain.gates["n1"].cin_ff = None
+        assert bigger > circuit_area_um(chain, lib)
+
+    def test_breakdown_sums_to_total(self, lib):
+        adder = ripple_carry_adder(4)
+        breakdown = area_by_kind_um(adder, lib)
+        assert sum(breakdown.values()) == pytest.approx(circuit_area_um(adder, lib))
+        assert set(breakdown) == {"nand2"}
+
+    def test_total_input_cap(self, lib):
+        chain = inverter_chain(2)
+        min_inv = lib.inverter.cin_min(lib.tech)
+        assert total_input_capacitance_ff(chain, lib) == pytest.approx(2 * min_inv)
+
+
+class TestActivity:
+    def test_toggle_rates_bounded(self):
+        adder = ripple_carry_adder(4)
+        report = estimate_activity(adder, n_vectors=64, seed=1)
+        for rate in report.toggle_rate.values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_inputs_toggle_half_the_time(self):
+        chain = inverter_chain(1)
+        report = estimate_activity(chain, n_vectors=2000, seed=5)
+        assert report.rate("in") == pytest.approx(0.5, abs=0.05)
+        # An inverter toggles exactly when its input does.
+        assert report.rate("n0") == pytest.approx(report.rate("in"))
+
+    def test_xor_tree_activity_high(self):
+        """XOR propagates every toggle: deep parity nets stay active."""
+        tree = parity_tree(8)
+        report = estimate_activity(tree, n_vectors=512, seed=2)
+        root = tree.outputs[0]
+        assert report.rate(root) > 0.4
+
+    def test_constant_ish_nets_low_activity(self):
+        """A wide AND's output rarely toggles under random inputs."""
+        c = Circuit("wideand")
+        for k in range(4):
+            c.add_input(f"i{k}")
+        c.add_gate("y", GateKind.AND4, [f"i{k}" for k in range(4)])
+        c.add_output("y")
+        report = estimate_activity(c, n_vectors=1024, seed=3)
+        assert report.rate("y") < 0.25
+
+    def test_determinism(self):
+        adder = ripple_carry_adder(2)
+        a = estimate_activity(adder, n_vectors=64, seed=9)
+        b = estimate_activity(adder, n_vectors=64, seed=9)
+        assert a.toggle_rate == b.toggle_rate
+
+    def test_validation(self):
+        adder = ripple_carry_adder(2)
+        with pytest.raises(ValueError):
+            estimate_activity(adder, n_vectors=1)
+        with pytest.raises(ValueError):
+            estimate_activity(adder, input_probability=0.0)
+
+
+class TestPower:
+    def test_power_positive_and_scales_with_frequency(self, lib):
+        adder = ripple_carry_adder(4)
+        p100 = estimate_power(adder, lib, frequency_mhz=100.0)
+        p200 = estimate_power(adder, lib, frequency_mhz=200.0)
+        assert p100.total_uw > 0
+        assert p200.dynamic_uw == pytest.approx(2.0 * p100.dynamic_uw, rel=1e-6)
+
+    def test_upsizing_costs_power(self, lib):
+        """The paper's core premise: sum W is a power proxy."""
+        adder = ripple_carry_adder(4)
+        before = estimate_power(adder, lib).dynamic_uw
+        for gate in adder.gates.values():
+            gate.cin_ff = 5.0 * lib.cref
+        after = estimate_power(adder, lib).dynamic_uw
+        assert after > 2.0 * before
+
+    def test_short_circuit_fraction_bounded(self, lib):
+        adder = ripple_carry_adder(4)
+        report = estimate_power(adder, lib)
+        assert 0.0 <= report.short_circuit_uw <= 0.5 * report.dynamic_uw
+
+    def test_validation(self, lib):
+        adder = ripple_carry_adder(2)
+        with pytest.raises(ValueError):
+            estimate_power(adder, lib, frequency_mhz=0.0)

@@ -1,0 +1,112 @@
+"""Tests for the AMPS-like and Sutherland baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.amps import amps_distribute_constraint, amps_minimum_delay
+from repro.baselines.sutherland import sutherland_distribute
+from repro.sizing.bounds import delay_bounds
+from repro.sizing.sensitivity import distribute_constraint
+from repro.timing.evaluation import evaluate_path, path_delay_ps
+
+
+class TestAmpsMinimumDelay:
+    def test_never_beats_pops(self, eleven_gate_path, lib):
+        """Fig. 2: the deterministic method's Tmin is the floor."""
+        bounds = delay_bounds(eleven_gate_path, lib)
+        amps = amps_minimum_delay(eleven_gate_path, lib)
+        assert amps.delay_ps >= bounds.tmin_ps - 1e-6
+
+    def test_gets_within_striking_distance(self, eleven_gate_path, lib):
+        """...but it is a competent sizer: within ~15% of the optimum."""
+        bounds = delay_bounds(eleven_gate_path, lib)
+        amps = amps_minimum_delay(eleven_gate_path, lib)
+        assert amps.delay_ps <= 1.15 * bounds.tmin_ps
+
+    def test_spends_many_evaluations(self, eleven_gate_path, lib):
+        """The Table 1 cost signature: ~100x the evaluation count."""
+        amps = amps_minimum_delay(eleven_gate_path, lib)
+        assert amps.evaluations > 50 * len(eleven_gate_path)
+
+    def test_deterministic_given_seed(self, eleven_gate_path, lib):
+        first = amps_minimum_delay(eleven_gate_path, lib, seed=7)
+        second = amps_minimum_delay(eleven_gate_path, lib, seed=7)
+        assert first.delay_ps == second.delay_ps
+        np.testing.assert_allclose(first.sizes, second.sizes)
+
+    def test_bad_step(self, eleven_gate_path, lib):
+        with pytest.raises(ValueError):
+            amps_minimum_delay(eleven_gate_path, lib, step=1.0)
+
+
+class TestAmpsConstrained:
+    def test_meets_constraint(self, eleven_gate_path, lib):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        tc = 1.3 * bounds.tmin_ps
+        amps = amps_distribute_constraint(eleven_gate_path, lib, tc)
+        assert amps.met_constraint
+        assert amps.delay_ps <= tc * (1 + 1e-9)
+
+    def test_oversizes_relative_to_pops(self, eleven_gate_path, lib):
+        """Fig. 4: greedy + discrete steps cost area vs eq. 6."""
+        bounds = delay_bounds(eleven_gate_path, lib)
+        tc = 1.2 * bounds.tmin_ps
+        ours = distribute_constraint(eleven_gate_path, lib, tc)
+        amps = amps_distribute_constraint(eleven_gate_path, lib, tc)
+        assert amps.met_constraint and ours.feasible
+        assert amps.area_um >= ours.area_um * 0.98
+
+    def test_infeasible_flagged(self, eleven_gate_path, lib):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        amps = amps_distribute_constraint(
+            eleven_gate_path, lib, 0.5 * bounds.tmin_ps
+        )
+        assert not amps.met_constraint
+
+    def test_bad_tc(self, eleven_gate_path, lib):
+        with pytest.raises(ValueError):
+            amps_distribute_constraint(eleven_gate_path, lib, 0.0)
+
+
+class TestSutherland:
+    def test_meets_constraint(self, eleven_gate_path, lib):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        tc = 1.5 * bounds.tmin_ps
+        result = sutherland_distribute(eleven_gate_path, lib, tc)
+        assert result.met_constraint
+        assert result.delay_ps <= tc * (1 + 1e-6)
+
+    def test_stage_delays_roughly_equal(self, eleven_gate_path, lib):
+        """The method's defining property -- equal delay per stage (up to
+        the minimum-drive clamps)."""
+        bounds = delay_bounds(eleven_gate_path, lib)
+        tc = 1.4 * bounds.tmin_ps
+        result = sutherland_distribute(eleven_gate_path, lib, tc)
+        timing = evaluate_path(eleven_gate_path, result.sizes, lib)
+        mins = eleven_gate_path.min_sizes(lib)
+        free = [
+            d
+            for i, d in enumerate(timing.stage_delays_ps)
+            if i > 0 and result.sizes[i] > mins[i] * 1.05
+        ]
+        if len(free) >= 3:
+            spread = (max(free) - min(free)) / np.mean(free)
+            assert spread < 0.6
+
+    def test_costlier_than_constant_sensitivity(self, eleven_gate_path, lib):
+        """Fig. 3/4 motivation: equal-delay oversizes heavy gates."""
+        bounds = delay_bounds(eleven_gate_path, lib)
+        tc = 1.3 * bounds.tmin_ps
+        ours = distribute_constraint(eleven_gate_path, lib, tc)
+        theirs = sutherland_distribute(eleven_gate_path, lib, tc)
+        assert ours.feasible and theirs.met_constraint
+        assert theirs.area_um >= ours.area_um * 0.98
+
+    def test_infeasible_budget(self, eleven_gate_path, lib):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        result = sutherland_distribute(eleven_gate_path, lib, 0.5 * bounds.tmin_ps)
+        assert not result.met_constraint
+
+    def test_bad_tc(self, eleven_gate_path, lib):
+        with pytest.raises(ValueError):
+            sutherland_distribute(eleven_gate_path, lib, -5.0)

@@ -1,0 +1,102 @@
+"""Tests for the structural circuit builders."""
+
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.netlist.builders import (
+    adder_inputs,
+    adder_value,
+    and_or_tree,
+    gate_chain,
+    inverter_chain,
+    parity_tree,
+    ripple_carry_adder,
+)
+
+
+class TestInverterChain:
+    def test_length_and_logic(self):
+        c = inverter_chain(5)
+        assert len(c) == 5
+        assert c.depth() == 5
+        assert c.output_values({"in": True})["n4"] is False  # odd inversions
+        assert c.output_values({"in": False})["n4"] is True
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            inverter_chain(0)
+
+
+class TestGateChain:
+    def test_side_inputs_created(self):
+        c = gate_chain([GateKind.NAND2, GateKind.NOR3, GateKind.INV])
+        # nand2 needs 1 side input, nor3 needs 2.
+        assert set(c.inputs) == {"in", "s0_1", "s1_1", "s1_2"}
+        assert c.depth() == 3
+
+    def test_sensitisable(self):
+        """With non-controlling side values, the path input propagates."""
+        c = gate_chain([GateKind.NAND2, GateKind.NOR2])
+        # NAND side at 1 (non-controlling), NOR side at 0 (non-controlling).
+        base = {"s0_1": True, "s1_1": False}
+        y0 = c.output_values(dict(base, **{"in": False}))["n1"]
+        y1 = c.output_values(dict(base, **{"in": True}))["n1"]
+        assert y0 != y1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gate_chain([])
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("a, b, cin", [(0, 0, False), (65535, 1, False),
+                                           (12345, 54321, True), (40000, 39999, False)])
+    def test_adds_correctly(self, a, b, cin):
+        adder = ripple_carry_adder(16)
+        out = adder.output_values(adder_inputs(a, b, 16, cin))
+        assert adder_value(out, 16) == a + b + int(cin)
+
+    def test_small_adder(self):
+        adder = ripple_carry_adder(4)
+        for a in range(16):
+            for b in (0, 5, 15):
+                out = adder.output_values(adder_inputs(a, b, 4))
+                assert adder_value(out, 4) == a + b
+
+    def test_operand_range_checked(self):
+        with pytest.raises(ValueError):
+            adder_inputs(16, 0, 4)
+        with pytest.raises(ValueError):
+            adder_inputs(-1, 0, 4)
+
+    def test_all_nand(self):
+        adder = ripple_carry_adder(2)
+        assert all(g.kind is GateKind.NAND2 for g in adder.gates.values())
+
+    def test_structure_scale(self):
+        adder = ripple_carry_adder(16)
+        assert len(adder) == 16 * 9
+        assert len(adder.outputs) == 17
+
+
+class TestTrees:
+    def test_parity(self):
+        c = parity_tree(8)
+        vec = {f"x{k}": bool((0b10110010 >> k) & 1) for k in range(8)}
+        expected = bin(0b10110010).count("1") % 2 == 1
+        assert c.output_values(vec)[c.outputs[0]] is expected
+
+    def test_parity_odd_width(self):
+        c = parity_tree(5)
+        vec = {f"x{k}": (k == 2) for k in range(5)}
+        assert c.output_values(vec)[c.outputs[0]] is True
+
+    def test_and_or_tree_depth(self):
+        c = and_or_tree(16)
+        assert c.depth() == 4
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            parity_tree(1)
+        with pytest.raises(ValueError):
+            and_or_tree(1)

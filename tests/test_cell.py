@@ -1,0 +1,101 @@
+"""Unit tests for the characterised cell model."""
+
+import pytest
+
+from repro.cells.cell import Cell
+from repro.cells.gate_types import GateKind
+from repro.process.technology import CMOS025
+
+
+@pytest.fixture(scope="module")
+def inv():
+    return Cell(kind=GateKind.INV, k_ratio=2.0, dw_hl=1.0, dw_lh=1.0, p_intrinsic=0.6)
+
+
+@pytest.fixture(scope="module")
+def nand2():
+    return Cell(
+        kind=GateKind.NAND2, k_ratio=2.0, dw_hl=1.8, dw_lh=1.2, p_intrinsic=0.8,
+        stack_n=2,
+    )
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            Cell(kind=GateKind.INV, k_ratio=0.0, dw_hl=1.0, dw_lh=1.0, p_intrinsic=0.5)
+
+    def test_weights_below_inverter_rejected(self):
+        with pytest.raises(ValueError):
+            Cell(kind=GateKind.INV, k_ratio=2.0, dw_hl=0.5, dw_lh=1.0, p_intrinsic=0.5)
+
+    def test_negative_parasitic(self):
+        with pytest.raises(ValueError):
+            Cell(kind=GateKind.INV, k_ratio=2.0, dw_hl=1.0, dw_lh=1.0, p_intrinsic=-1)
+
+    def test_stack_heights(self):
+        with pytest.raises(ValueError):
+            Cell(
+                kind=GateKind.INV, k_ratio=2.0, dw_hl=1.0, dw_lh=1.0,
+                p_intrinsic=0.5, stack_n=0,
+            )
+
+
+class TestSymmetryFactors:
+    def test_inverter_shl(self, inv):
+        # S_HL = DW * (1 + k) / 2 = 1.5 for k = 2.
+        assert inv.s_hl(CMOS025) == pytest.approx(1.5)
+
+    def test_inverter_slh_carries_r_over_k(self, inv):
+        expected = 1.0 * (CMOS025.r_ratio / 2.0) * 3.0 / 2.0
+        assert inv.s_lh(CMOS025) == pytest.approx(expected)
+
+    def test_balanced_when_k_equals_r(self):
+        balanced = Cell(
+            kind=GateKind.INV,
+            k_ratio=CMOS025.r_ratio,
+            dw_hl=1.0,
+            dw_lh=1.0,
+            p_intrinsic=0.6,
+        )
+        assert balanced.s_hl(CMOS025) == pytest.approx(balanced.s_lh(CMOS025))
+
+    def test_logical_weight_multiplies_edge(self, inv, nand2):
+        assert nand2.s_hl(CMOS025) == pytest.approx(1.8 * inv.s_hl(CMOS025))
+
+
+class TestCapacitances:
+    def test_coupling_split_by_edge(self, inv):
+        cin = 9.0
+        rising = inv.coupling_cap(cin, input_rising=True)   # P side: k/(1+k)
+        falling = inv.coupling_cap(cin, input_rising=False)  # N side: 1/(1+k)
+        assert rising == pytest.approx(0.5 * cin * 2.0 / 3.0)
+        assert falling == pytest.approx(0.5 * cin / 3.0)
+        assert rising + falling == pytest.approx(0.5 * cin)
+
+    def test_parasitic_proportional(self, inv):
+        assert inv.parasitic_cap(10.0) == pytest.approx(6.0)
+        assert inv.parasitic_cap(0.0) == 0.0
+
+    def test_negative_cin_rejected(self, inv):
+        with pytest.raises(ValueError):
+            inv.coupling_cap(-1.0, True)
+        with pytest.raises(ValueError):
+            inv.parasitic_cap(-1.0)
+
+    def test_cin_min_from_wmin(self, inv):
+        expected = CMOS025.cin_for_width(CMOS025.w_min_um * 3.0)
+        assert inv.cin_min(CMOS025) == pytest.approx(expected)
+
+
+class TestGeometry:
+    def test_width_scales_with_fanin(self, inv, nand2):
+        cin = 12.0
+        assert nand2.total_width_um(cin, CMOS025) == pytest.approx(
+            2.0 * inv.total_width_um(cin, CMOS025)
+        )
+
+    def test_wn_wp_split(self, inv):
+        wn, wp = inv.wn_wp_um(9.0, CMOS025)
+        assert wp == pytest.approx(2.0 * wn)
+        assert wn + wp == pytest.approx(CMOS025.width_for_cin(9.0))

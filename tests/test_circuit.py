@@ -1,0 +1,161 @@
+"""Unit tests for the circuit DAG."""
+
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.netlist.circuit import (
+    Circuit,
+    NetlistError,
+    equivalent,
+    exhaustive_vectors,
+)
+
+
+@pytest.fixture()
+def tiny():
+    """y = NAND(a, NOT(b))"""
+    c = Circuit("tiny")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("nb", GateKind.INV, ["b"])
+    c.add_gate("y", GateKind.NAND2, ["a", "nb"])
+    c.add_output("y")
+    c.validate()
+    return c
+
+
+class TestConstruction:
+    def test_duplicate_gate_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.add_gate("y", GateKind.INV, ["a"])
+
+    def test_gate_shadowing_input_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.add_gate("a", GateKind.INV, ["b"])
+
+    def test_input_shadowing_gate_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.add_input("y")
+
+    def test_wrong_arity_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_gate("g", GateKind.NAND2, ["a"])
+
+    def test_dangling_net_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", GateKind.NAND2, ["a", "ghost"])
+        c.add_output("g")
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_undefined_output_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", GateKind.INV, ["a"])
+        c.add_output("phantom")
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_no_outputs_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", GateKind.INV, ["a"])
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_cycle_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g1", GateKind.NAND2, ["a", "g2"])
+        c.add_gate("g2", GateKind.INV, ["g1"])
+        c.add_output("g2")
+        with pytest.raises(NetlistError):
+            c.validate()
+
+
+class TestStructure:
+    def test_topological_order(self, tiny):
+        order = tiny.topological_order()
+        assert order.index("nb") < order.index("y")
+
+    def test_fanout_map(self, tiny):
+        fanout = tiny.fanout_map()
+        assert fanout["b"] == ["nb"]
+        assert fanout["nb"] == ["y"]
+        assert fanout["y"] == []
+        assert set(fanout["a"]) == {"y"}
+
+    def test_depth(self, tiny):
+        assert tiny.depth() == 2
+
+    def test_stats(self, tiny):
+        stats = tiny.stats()
+        assert stats["total_gates"] == 2
+        assert stats["inv"] == 1
+        assert stats["nand2"] == 1
+        assert stats["inputs"] == 2
+        assert stats["depth"] == 2
+
+    def test_contains(self, tiny):
+        assert "a" in tiny
+        assert "y" in tiny
+        assert "nope" not in tiny
+
+    def test_gate_lookup_error(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.gate("missing")
+
+
+class TestSimulation:
+    def test_truth_table(self, tiny):
+        # y = NAND(a, NOT b) = NOT(a AND NOT b)
+        cases = {
+            (False, False): True,
+            (False, True): True,
+            (True, False): False,
+            (True, True): True,
+        }
+        for (a, b), expected in cases.items():
+            out = tiny.output_values({"a": a, "b": b})
+            assert out["y"] is expected
+
+    def test_missing_input_rejected(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.simulate({"a": True})
+
+
+class TestCopyAndEquivalence:
+    def test_copy_is_deep(self, tiny):
+        dup = tiny.copy()
+        dup.gates["y"].cin_ff = 42.0
+        assert tiny.gates["y"].cin_ff is None
+
+    def test_equivalent_to_self(self, tiny):
+        assert equivalent(tiny, tiny.copy(), exhaustive_vectors(tiny.inputs))
+
+    def test_inequivalent_detected(self, tiny):
+        other = Circuit("other")
+        other.add_input("a")
+        other.add_input("b")
+        other.add_gate("nb", GateKind.INV, ["b"])
+        other.add_gate("y", GateKind.NOR2, ["a", "nb"])
+        other.add_output("y")
+        assert not equivalent(tiny, other, exhaustive_vectors(tiny.inputs))
+
+    def test_io_mismatch_rejected(self, tiny):
+        other = Circuit("other")
+        other.add_input("a")
+        other.add_gate("y", GateKind.INV, ["a"])
+        other.add_output("y")
+        with pytest.raises(NetlistError):
+            equivalent(tiny, other, [])
+
+    def test_exhaustive_vectors_count(self):
+        assert len(list(exhaustive_vectors(["a", "b", "c"]))) == 8
+
+    def test_exhaustive_vectors_limit(self):
+        with pytest.raises(ValueError):
+            list(exhaustive_vectors([f"i{k}" for k in range(20)]))

@@ -1,0 +1,66 @@
+"""Tests for the ``pops`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_optimize_flags_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["optimize", "fpd", "--tc-ps", "100", "--tc-ratio", "1.5"]
+            )
+
+
+class TestCommands:
+    def test_benchmarks(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "adder16" in out
+        assert "c7552" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize"]) == 0
+        out = capsys.readouterr().out
+        assert "nor3" in out
+        assert "Flimit" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "fpd"]) == 0
+        out = capsys.readouterr().out
+        assert "Tmin" in out
+        assert "Tmax" in out
+
+    def test_optimize(self, capsys):
+        assert main(["optimize", "fpd", "--tc-ratio", "1.4"]) == 0
+        out = capsys.readouterr().out
+        assert "method" in out
+        assert "feasible" in out
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["bounds", "c0000"])
+
+
+class TestReportCommands:
+    def test_report(self, capsys):
+        assert main(["report", "fpd"]) == 0
+        out = capsys.readouterr().out
+        assert "Timing report" in out
+        assert "path #1" in out
+
+    def test_report_with_tc(self, capsys):
+        assert main(["report", "fpd", "--tc-ps", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "violated" in out
+
+    def test_power(self, capsys):
+        assert main(["power", "fpd", "--vectors", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic power" in out
+        assert "uW" in out

@@ -1,0 +1,100 @@
+"""Tests for the AOI/OAI complex-gate extension."""
+
+import itertools
+
+import pytest
+
+from repro.cells.gate_types import GateKind, is_inverting, logic_eval, num_inputs
+from repro.buffering.flimit import flimit
+from repro.netlist.circuit import Circuit, equivalent, exhaustive_vectors
+from repro.sizing.bounds import delay_bounds
+from repro.timing.path import make_path
+
+COMPLEX = (GateKind.AOI21, GateKind.AOI22, GateKind.OAI21, GateKind.OAI22)
+
+
+class TestLogic:
+    def test_aoi21_truth_table(self):
+        for a, b, c in itertools.product([False, True], repeat=3):
+            assert logic_eval(GateKind.AOI21, [a, b, c]) == (not ((a and b) or c))
+
+    def test_oai21_truth_table(self):
+        for a, b, c in itertools.product([False, True], repeat=3):
+            assert logic_eval(GateKind.OAI21, [a, b, c]) == (not ((a or b) and c))
+
+    def test_aoi22_truth_table(self):
+        for bits in itertools.product([False, True], repeat=4):
+            a, b, c, d = bits
+            expected = not ((a and b) or (c and d))
+            assert logic_eval(GateKind.AOI22, bits) == expected
+
+    def test_oai22_truth_table(self):
+        for bits in itertools.product([False, True], repeat=4):
+            a, b, c, d = bits
+            expected = not ((a or b) and (c or d))
+            assert logic_eval(GateKind.OAI22, bits) == expected
+
+    def test_all_inverting(self):
+        for kind in COMPLEX:
+            assert is_inverting(kind)
+
+    def test_arities(self):
+        assert num_inputs(GateKind.AOI21) == 3
+        assert num_inputs(GateKind.OAI22) == 4
+
+
+class TestComplexGateEquivalence:
+    def test_aoi21_equals_discrete_gates(self):
+        """AOI21(a,b,c) == NOR2(AND2(a,b), c) -- the structural identity."""
+        complex_c = Circuit("cx")
+        discrete = Circuit("dx")
+        for circuit in (complex_c, discrete):
+            for net in ("a", "b", "c"):
+                circuit.add_input(net)
+        complex_c.add_gate("y", GateKind.AOI21, ["a", "b", "c"])
+        complex_c.add_output("y")
+        discrete.add_gate("ab", GateKind.AND2, ["a", "b"])
+        discrete.add_gate("y", GateKind.NOR2, ["ab", "c"])
+        discrete.add_output("y")
+        assert equivalent(complex_c, discrete, exhaustive_vectors(["a", "b", "c"]))
+
+
+class TestComplexGateTiming:
+    def test_library_covers_complex_gates(self, lib):
+        for kind in COMPLEX:
+            cell = lib.cell(kind)
+            assert cell.stack_n == 2 and cell.stack_p == 2
+
+    def test_oai_less_efficient_than_aoi(self, lib):
+        """The series-P (OAI) stack pays the R penalty: lower Flimit."""
+        assert flimit(lib, GateKind.OAI21) < flimit(lib, GateKind.AOI21)
+
+    def test_flimit_between_nand_and_nor(self, lib):
+        """Complex gates sit between the simple families in efficiency."""
+        f_aoi = flimit(lib, GateKind.AOI21)
+        assert flimit(lib, GateKind.NOR3) < f_aoi < flimit(lib, GateKind.INV)
+
+    def test_sizing_engine_handles_complex_paths(self, lib):
+        path = make_path(
+            [GateKind.INV, GateKind.AOI21, GateKind.INV, GateKind.OAI22,
+             GateKind.INV],
+            lib,
+            cterm_ff=30.0 * lib.cref,
+        )
+        bounds = delay_bounds(path, lib)
+        assert bounds.tmin_ps < bounds.tmax_ps
+
+    def test_simulator_handles_complex_paths(self, lib):
+        from repro.spice import SimOptions, simulate_path
+        from repro.timing.evaluation import path_delay_ps
+
+        path = make_path(
+            [GateKind.INV, GateKind.AOI21, GateKind.INV],
+            lib,
+            cterm_ff=15.0 * lib.cref,
+        )
+        sizes = path.min_sizes(lib) * 2.0
+        sizes[0] = path.cin_first_ff
+        model = path_delay_ps(path, sizes, lib)
+        sim = simulate_path(path, sizes, lib, options=SimOptions(n_steps=1500))
+        assert sim.path_delay_ps == pytest.approx(model, rel=0.30)

@@ -1,0 +1,130 @@
+"""Unit tests for the eq. 1-3 closed-form delay model."""
+
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.timing.delay_model import (
+    Edge,
+    coupling_factor,
+    fanout_four_delay,
+    gate_delay,
+    output_edge_for,
+    output_transition_time,
+    total_load,
+)
+
+
+class TestEdge:
+    def test_flip(self):
+        assert Edge.RISE.flipped is Edge.FALL
+        assert Edge.FALL.flipped is Edge.RISE
+
+    def test_output_edge_inverting(self, lib):
+        inv = lib.cell(GateKind.INV)
+        assert output_edge_for(inv, Edge.RISE) is Edge.FALL
+        assert output_edge_for(inv, Edge.FALL) is Edge.RISE
+
+    def test_output_edge_non_inverting(self, lib):
+        buf = lib.cell(GateKind.BUF)
+        assert output_edge_for(buf, Edge.RISE) is Edge.RISE
+
+
+class TestTransitionTime:
+    def test_linear_in_load(self, lib):
+        inv = lib.inverter
+        t1 = output_transition_time(inv, lib.tech, 10.0, 20.0, Edge.FALL)
+        t2 = output_transition_time(inv, lib.tech, 10.0, 40.0, Edge.FALL)
+        assert t2 == pytest.approx(2.0 * t1)
+
+    def test_inverse_in_drive(self, lib):
+        inv = lib.inverter
+        t1 = output_transition_time(inv, lib.tech, 10.0, 40.0, Edge.FALL)
+        t2 = output_transition_time(inv, lib.tech, 20.0, 40.0, Edge.FALL)
+        assert t1 == pytest.approx(2.0 * t2)
+
+    def test_eq2_value(self, lib):
+        """tau_out = S * tau * C_L / C_IN, literally."""
+        inv = lib.inverter
+        got = output_transition_time(inv, lib.tech, 10.0, 40.0, Edge.FALL)
+        assert got == pytest.approx(inv.s_hl(lib.tech) * lib.tech.tau_ps * 4.0)
+
+    def test_requires_positive_drive(self, lib):
+        with pytest.raises(ValueError):
+            output_transition_time(lib.inverter, lib.tech, 0.0, 10.0, Edge.FALL)
+
+
+class TestCouplingFactor:
+    def test_no_coupling(self):
+        assert coupling_factor(0.0, 50.0) == 1.0
+
+    def test_bounded_by_three(self):
+        # C_M >> C_L: factor saturates at 3 (full Miller overshoot).
+        assert coupling_factor(1e9, 1.0) == pytest.approx(3.0, rel=1e-6)
+
+    def test_monotone_in_cm(self):
+        values = [coupling_factor(cm, 10.0) for cm in (0.0, 1.0, 5.0, 20.0)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_zero_everything(self):
+        assert coupling_factor(0.0, 0.0) == 1.0
+
+
+class TestGateDelay:
+    def test_slope_term(self, lib):
+        """Eq. 1: delay grows linearly with input transition, slope v_T/2."""
+        inv = lib.inverter
+        base = gate_delay(inv, lib.tech, 10.0, 30.0, 0.0, Edge.RISE)
+        slow = gate_delay(inv, lib.tech, 10.0, 30.0, 100.0, Edge.RISE)
+        assert slow.delay_ps - base.delay_ps == pytest.approx(
+            0.5 * lib.tech.vtn_reduced * 100.0
+        )
+
+    def test_vt_choice_follows_input_edge(self, lib):
+        inv = lib.inverter
+        rise = gate_delay(inv, lib.tech, 10.0, 30.0, 100.0, Edge.RISE)
+        fall = gate_delay(inv, lib.tech, 10.0, 30.0, 100.0, Edge.FALL)
+        rise0 = gate_delay(inv, lib.tech, 10.0, 30.0, 0.0, Edge.RISE)
+        fall0 = gate_delay(inv, lib.tech, 10.0, 30.0, 0.0, Edge.FALL)
+        assert rise.delay_ps - rise0.delay_ps == pytest.approx(
+            0.5 * lib.tech.vtn_reduced * 100.0
+        )
+        assert fall.delay_ps - fall0.delay_ps == pytest.approx(
+            0.5 * lib.tech.vtp_reduced * 100.0
+        )
+
+    def test_total_load_includes_parasitic(self, lib):
+        inv = lib.inverter
+        assert total_load(inv, 10.0, 25.0) == pytest.approx(
+            inv.parasitic_cap(10.0) + 25.0
+        )
+
+    def test_delay_decreases_with_drive_at_fixed_load(self, lib):
+        inv = lib.inverter
+        delays = [
+            gate_delay(inv, lib.tech, cin, 100.0, 0.0, Edge.RISE).delay_ps
+            for cin in (5.0, 10.0, 20.0, 40.0)
+        ]
+        assert all(b < a for a, b in zip(delays, delays[1:]))
+
+    def test_negative_tin_rejected(self, lib):
+        with pytest.raises(ValueError):
+            gate_delay(lib.inverter, lib.tech, 10.0, 30.0, -1.0, Edge.RISE)
+
+    def test_fo4_sanity(self, lib):
+        """A 0.25 um FO4 should be tens of picoseconds."""
+        fo4 = fanout_four_delay(lib.inverter, lib.tech, lib.cref)
+        assert 30.0 < fo4 < 150.0
+
+    def test_nor_slower_than_nand_on_worst_edge(self, lib):
+        nand = lib.cell(GateKind.NAND2)
+        nor = lib.cell(GateKind.NOR2)
+        # Rising output (through the P stack) is the NOR's weakness.
+        nand_worst = max(
+            gate_delay(nand, lib.tech, 10.0, 40.0, 0.0, e).delay_ps
+            for e in (Edge.RISE, Edge.FALL)
+        )
+        nor_worst = max(
+            gate_delay(nor, lib.tech, 10.0, 40.0, 0.0, e).delay_ps
+            for e in (Edge.RISE, Edge.FALL)
+        )
+        assert nor_worst > nand_worst

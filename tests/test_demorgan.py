@@ -1,0 +1,151 @@
+"""Tests for the De Morgan restructuring engine (section 4.2, Table 4)."""
+
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.netlist.circuit import Circuit, equivalent, exhaustive_vectors
+from repro.restructuring.demorgan import (
+    demorgan_nand_to_nor,
+    demorgan_nor_to_nand,
+    distribute_with_restructuring,
+    restructurable_stages,
+    restructure_path,
+    rewrite_all_nors,
+)
+from repro.sizing.bounds import min_delay_bound
+from repro.timing.path import make_path
+
+
+@pytest.fixture()
+def nor_heavy_path(lib):
+    """A path whose NOR carries a hot node -- the Table 4 scenario."""
+    return make_path(
+        [GateKind.INV, GateKind.NOR2, GateKind.NAND2, GateKind.NOR3, GateKind.INV],
+        lib,
+        cterm_ff=10.0 * lib.cref,
+        cside_ff=[0.0, 250.0 * lib.cref, 0.0, 120.0 * lib.cref, 0.0],
+    )
+
+
+class TestPathRewrite:
+    def test_candidates_found(self, nor_heavy_path):
+        assert restructurable_stages(nor_heavy_path) == [1, 3]
+
+    def test_rewrite_structure(self, lib, nor_heavy_path):
+        result = restructure_path(nor_heavy_path, lib, indices=[1])
+        # NOR2 -> INV + NAND2 + INV: two extra stages.
+        assert len(result.path) == len(nor_heavy_path) + 2
+        kinds = result.path.kinds
+        assert kinds[1] is GateKind.INV
+        assert kinds[2] is GateKind.NAND2
+        assert kinds[3] is GateKind.INV
+
+    def test_polarity_preserved(self, lib, nor_heavy_path):
+        """INV-NAND-INV has the same inversion parity as the NOR it
+        replaces, so the path output polarity is unchanged."""
+        original_edge = nor_heavy_path.edge_at(len(nor_heavy_path) - 1)
+        result = restructure_path(nor_heavy_path, lib, indices=[1])
+        new_edge = result.path.edge_at(len(result.path) - 1)
+        assert new_edge is original_edge
+
+    def test_side_load_migrates_to_output_inverter(self, lib, nor_heavy_path):
+        result = restructure_path(nor_heavy_path, lib, indices=[1])
+        assert result.path.stages[1].cside_ff == 0.0
+        assert result.path.stages[3].cside_ff == pytest.approx(250.0 * lib.cref)
+
+    def test_side_inverter_area_counted(self, lib, nor_heavy_path):
+        result = restructure_path(nor_heavy_path, lib, indices=[1, 3])
+        inv = lib.inverter
+        min_inv_area = inv.total_width_um(inv.cin_min(lib.tech), lib.tech)
+        # NOR2 has 1 side input, NOR3 has 2.
+        assert result.side_inverter_area_um == pytest.approx(3 * min_inv_area)
+
+    def test_non_nor_rejected(self, lib, nor_heavy_path):
+        with pytest.raises(ValueError):
+            restructure_path(nor_heavy_path, lib, indices=[2])
+
+    def test_default_selection_targets_critical_nors(self, lib, nor_heavy_path):
+        result = restructure_path(nor_heavy_path, lib)
+        assert set(result.replaced) <= {1, 3}
+        assert result.replaced  # something was selected
+
+    def test_restructured_tmin_beats_original_on_hot_path(self, lib, nor_heavy_path):
+        t_orig, _, _, _ = min_delay_bound(nor_heavy_path, lib)
+        result = restructure_path(nor_heavy_path, lib)
+        t_new, _, _, _ = min_delay_bound(result.path, lib)
+        assert t_new < t_orig
+
+
+class TestConstraintFlow:
+    def test_distribution_after_rewrite(self, lib, nor_heavy_path):
+        t_orig, _, _, _ = min_delay_bound(nor_heavy_path, lib)
+        tc = 0.95 * t_orig  # infeasible for sizing alone
+        result, rewritten = distribute_with_restructuring(
+            nor_heavy_path, lib, tc
+        )
+        assert result.feasible
+        assert rewritten.side_inverter_area_um > 0
+
+
+class TestCircuitRewrite:
+    @pytest.fixture()
+    def nor_circuit(self):
+        c = Circuit("norc")
+        for net in ("a", "b", "c"):
+            c.add_input(net)
+        c.add_gate("n1", GateKind.NOR2, ["a", "b"])
+        c.add_gate("n2", GateKind.NAND2, ["n1", "c"])
+        c.add_gate("y", GateKind.NOR3, ["n1", "n2", "c"])
+        c.add_output("y")
+        c.validate()
+        return c
+
+    def test_nor_to_nand_equivalent(self, nor_circuit):
+        rewritten = demorgan_nor_to_nand(nor_circuit, "n1")
+        assert equivalent(
+            nor_circuit, rewritten, exhaustive_vectors(nor_circuit.inputs)
+        )
+
+    def test_output_net_name_survives(self, nor_circuit):
+        rewritten = demorgan_nor_to_nand(nor_circuit, "n1")
+        assert "n1" in rewritten.gates
+        assert rewritten.gates["n1"].kind is GateKind.INV
+
+    def test_gate_count_increases_by_fanin_plus_one(self, nor_circuit):
+        rewritten = demorgan_nor_to_nand(nor_circuit, "y")  # NOR3
+        assert len(rewritten) == len(nor_circuit) + 4  # 3 inv + nand (y reused)
+
+    def test_wrong_kind_rejected(self, nor_circuit):
+        with pytest.raises(ValueError):
+            demorgan_nor_to_nand(nor_circuit, "n2")  # a NAND
+        with pytest.raises(ValueError):
+            demorgan_nand_to_nor(nor_circuit, "n1")  # a NOR
+
+    def test_nand_to_nor_equivalent(self, nor_circuit):
+        rewritten = demorgan_nand_to_nor(nor_circuit, "n2")
+        assert equivalent(
+            nor_circuit, rewritten, exhaustive_vectors(nor_circuit.inputs)
+        )
+
+    def test_rewrite_all_nors(self, nor_circuit):
+        rewritten, renamed = rewrite_all_nors(nor_circuit)
+        assert set(renamed) == {"n1", "y"}
+        assert equivalent(
+            nor_circuit, rewritten, exhaustive_vectors(nor_circuit.inputs)
+        )
+        kinds = {g.kind for g in rewritten.gates.values()}
+        assert GateKind.NOR2 not in kinds
+        assert GateKind.NOR3 not in kinds
+
+    def test_rewrite_on_benchmark(self, lib):
+        from repro.iscas.loader import load_benchmark
+        import numpy as np
+
+        circuit = load_benchmark("fpd")
+        rewritten, renamed = rewrite_all_nors(circuit)
+        rng = np.random.default_rng(3)
+        vectors = [
+            {net: bool(rng.integers(2)) for net in circuit.inputs}
+            for _ in range(64)
+        ]
+        assert equivalent(circuit, rewritten, vectors)

@@ -1,0 +1,179 @@
+"""Unit tests for path evaluation, coefficients and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.timing.delay_model import Edge, gate_delay
+from repro.timing.evaluation import (
+    delay_gradient,
+    effective_a_coeffs,
+    evaluate_path,
+    path_area_um,
+    path_delay_ps,
+    stage_external_loads,
+    stage_fanout_ratios,
+)
+from repro.timing.path import make_path
+
+
+class TestEvaluatePath:
+    def test_single_stage_matches_gate_delay(self, lib):
+        path = make_path([GateKind.NAND2], lib, cin_first_ff=8.0, cterm_ff=40.0)
+        timing = evaluate_path(path, [8.0], lib)
+        direct = gate_delay(
+            lib.cell(GateKind.NAND2), lib.tech, 8.0, 40.0, 0.0, Edge.RISE
+        )
+        assert timing.total_delay_ps == pytest.approx(direct.delay_ps)
+        assert timing.stage_tout_ps[0] == pytest.approx(direct.tout_ps)
+
+    def test_total_is_sum_of_stages(self, eleven_gate_path, lib):
+        sizes = eleven_gate_path.min_sizes(lib) * 2.0
+        timing = evaluate_path(eleven_gate_path, sizes, lib)
+        assert timing.total_delay_ps == pytest.approx(sum(timing.stage_delays_ps))
+
+    def test_slews_chain(self, lib):
+        """Stage i's input transition is stage i-1's output transition."""
+        path = make_path([GateKind.INV, GateKind.INV], lib, cterm_ff=30.0)
+        sizes = path.min_sizes(lib)
+        timing = evaluate_path(path, sizes, lib)
+        second = gate_delay(
+            lib.inverter,
+            lib.tech,
+            sizes[1],
+            path.cterm_ff,
+            timing.stage_tout_ps[0],
+            Edge.FALL,
+        )
+        assert timing.stage_delays_ps[1] == pytest.approx(second.delay_ps)
+
+    def test_first_size_is_pinned(self, short_path, lib):
+        sizes = short_path.min_sizes(lib)
+        tampered = sizes.copy()
+        tampered[0] *= 10.0
+        assert path_delay_ps(short_path, tampered, lib) == pytest.approx(
+            path_delay_ps(short_path, sizes, lib)
+        )
+
+    def test_rejects_bad_shapes_and_values(self, short_path, lib):
+        with pytest.raises(ValueError):
+            evaluate_path(short_path, [1.0], lib)
+        bad = short_path.min_sizes(lib)
+        bad[2] = -1.0
+        with pytest.raises(ValueError):
+            evaluate_path(short_path, bad, lib)
+
+    def test_side_load_slows_stage(self, lib):
+        bare = make_path([GateKind.INV, GateKind.INV], lib, cterm_ff=30.0)
+        loaded = make_path(
+            [GateKind.INV, GateKind.INV], lib, cterm_ff=30.0, cside_ff=[50.0, 0.0]
+        )
+        sizes = bare.min_sizes(lib)
+        assert path_delay_ps(loaded, sizes, lib) > path_delay_ps(bare, sizes, lib)
+
+
+class TestLoadsAndRatios:
+    def test_external_loads(self, lib):
+        path = make_path(
+            [GateKind.INV, GateKind.INV], lib, cterm_ff=30.0, cside_ff=[5.0, 7.0]
+        )
+        sizes = np.array([path.cin_first_ff, 12.0])
+        loads = stage_external_loads(path, sizes)
+        assert loads[0] == pytest.approx(5.0 + 12.0)
+        assert loads[1] == pytest.approx(7.0 + 30.0)
+
+    def test_fanout_ratios(self, lib):
+        path = make_path([GateKind.INV], lib, cin_first_ff=10.0, cterm_ff=40.0)
+        ratios = stage_fanout_ratios(path, np.array([10.0]))
+        assert ratios[0] == pytest.approx(4.0)
+
+
+class TestArea:
+    def test_area_sums_cell_widths(self, lib):
+        path = make_path([GateKind.INV, GateKind.NAND2], lib)
+        sizes = np.array([path.cin_first_ff, 9.0])
+        expected = lib.inverter.total_width_um(sizes[0], lib.tech) + lib.cell(
+            GateKind.NAND2
+        ).total_width_um(9.0, lib.tech)
+        assert path_area_um(path, sizes, lib) == pytest.approx(expected)
+
+    def test_area_shape_checked(self, short_path, lib):
+        with pytest.raises(ValueError):
+            path_area_um(short_path, [1.0, 2.0], lib)
+
+
+class TestGradientAndCoeffs:
+    def test_coeffs_reconstruct_total_delay(self, eleven_gate_path, lib):
+        """T == sum_i A_i * C_L_total(i) / C_IN(i) + input-slope term.
+
+        The effective coefficients bundle each stage's coupling factor and
+        its slope contribution to the next stage, so summing the load
+        terms reproduces the exact eq. 1 path delay.
+        """
+        path = eleven_gate_path
+        sizes = path.min_sizes(lib) * 3.0
+        sizes[0] = path.cin_first_ff
+        timing = evaluate_path(path, sizes, lib)
+        coeffs = effective_a_coeffs(path, sizes, lib)
+        reconstructed = sum(
+            coeffs[i] * timing.stage_loads_ff[i] / sizes[i]
+            for i in range(len(path))
+        )
+        # tin_first is zero for this path, so no extra input-slope term.
+        assert reconstructed == pytest.approx(timing.total_delay_ps, rel=1e-9)
+
+    def test_link_gradient_direction_agrees(self, eleven_gate_path, lib):
+        """The frozen-A gradient surrogate used by eq. 4 points the same
+        way as the exact gradient on its dominant components (the Miller
+        derivative it drops is a second-order correction)."""
+        path = eleven_gate_path
+        sizes = path.min_sizes(lib) * 3.0
+        sizes[0] = path.cin_first_ff
+        grad = delay_gradient(path, sizes, lib)
+        coeffs = effective_a_coeffs(path, sizes, lib)
+        n = len(path)
+        scale = float(np.abs(grad[1:]).max())
+        for i in range(1, n):
+            ext_i = path.stages[i].cside_ff + (
+                sizes[i + 1] if i + 1 < n else path.cterm_ff
+            )
+            analytic = coeffs[i - 1] / sizes[i - 1] - coeffs[i] * ext_i / sizes[i] ** 2
+            if abs(grad[i]) > 0.2 * scale:
+                assert np.sign(analytic) == np.sign(grad[i])
+
+    def test_gradient_component_zero_for_pinned_first(self, short_path, lib):
+        grad = delay_gradient(short_path, short_path.min_sizes(lib), lib)
+        assert grad[0] == 0.0
+
+    def test_gradient_at_min_sizes_flags_the_loaded_tail(self, eleven_gate_path, lib):
+        """At minimum drives the terminal-load-facing stage dominates: the
+        last gate's sensitivity is strongly negative (upsizing it helps),
+        even though mid-path components can be positive (upsizing a gate
+        also loads its predecessor)."""
+        grad = delay_gradient(
+            eleven_gate_path, eleven_gate_path.min_sizes(lib), lib
+        )
+        assert grad[-1] < 0
+        assert grad[-1] == min(grad[1:])
+        assert np.any(grad[1:] < 0)
+
+    def test_coeffs_positive(self, eleven_gate_path, lib):
+        coeffs = effective_a_coeffs(
+            eleven_gate_path, eleven_gate_path.min_sizes(lib), lib
+        )
+        assert np.all(coeffs > 0)
+
+
+class TestAnalyticGradient:
+    def test_matches_central_differences(self, eleven_gate_path, lib, rng):
+        """The closed-form O(n) gradient equals finite differences."""
+        from repro.timing.evaluation import delay_gradient_numeric
+
+        for _ in range(5):
+            scales = np.exp(rng.uniform(0.0, 3.5, len(eleven_gate_path)))
+            sizes = eleven_gate_path.clamp_sizes(
+                eleven_gate_path.min_sizes(lib) * scales, lib
+            )
+            analytic = delay_gradient(eleven_gate_path, sizes, lib)
+            numeric = delay_gradient_numeric(eleven_gate_path, sizes, lib)
+            np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-7)

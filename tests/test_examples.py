@@ -1,0 +1,50 @@
+"""The examples are part of the public surface: they must run clean."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Tmin" in result.stdout
+        assert "feasible = False" in result.stdout  # the infeasibility demo
+
+    def test_iscas_protocol_flow(self):
+        result = _run("iscas_protocol_flow.py", "fpd")
+        assert result.returncode == 0, result.stderr
+        assert "weak" in result.stdout
+        assert "sizing" in result.stdout
+
+    def test_buffer_insertion_study(self):
+        result = _run("buffer_insertion_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "Flimit" in result.stdout
+        assert "transistor-level check" in result.stdout
+
+    def test_restructuring_study(self):
+        result = _run("restructuring_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "De Morgan restructuring" in result.stdout
+        assert "equivalence over 128 random vectors: True" in result.stdout
+
+    @pytest.mark.slow
+    def test_low_power_flow(self):
+        result = _run("low_power_flow.py")
+        assert result.returncode == 0, result.stderr
+        assert "power saved" in result.stdout

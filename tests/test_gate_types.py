@@ -1,0 +1,120 @@
+"""Unit tests for gate kinds and their logic functions."""
+
+import itertools
+
+import pytest
+
+from repro.cells.gate_types import (
+    GateKind,
+    and_kind,
+    is_inverting,
+    logic_eval,
+    nand_kind,
+    nor_kind,
+    num_inputs,
+    or_kind,
+)
+
+
+class TestArity:
+    @pytest.mark.parametrize(
+        "kind, n",
+        [
+            (GateKind.INV, 1),
+            (GateKind.BUF, 1),
+            (GateKind.NAND2, 2),
+            (GateKind.NAND4, 4),
+            (GateKind.NOR3, 3),
+            (GateKind.XOR2, 2),
+        ],
+    )
+    def test_num_inputs(self, kind, n):
+        assert num_inputs(kind) == n
+
+    def test_every_kind_has_arity(self):
+        for kind in GateKind:
+            assert num_inputs(kind) >= 1
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            logic_eval(GateKind.NAND2, [True])
+        with pytest.raises(ValueError):
+            logic_eval(GateKind.INV, [True, False])
+
+
+class TestLogic:
+    def test_inv(self):
+        assert logic_eval(GateKind.INV, [False]) is True
+        assert logic_eval(GateKind.INV, [True]) is False
+
+    def test_buf(self):
+        assert logic_eval(GateKind.BUF, [True]) is True
+        assert logic_eval(GateKind.BUF, [False]) is False
+
+    @pytest.mark.parametrize("kind", [GateKind.NAND2, GateKind.NAND3, GateKind.NAND4])
+    def test_nand_truth_table(self, kind):
+        n = num_inputs(kind)
+        for bits in itertools.product([False, True], repeat=n):
+            assert logic_eval(kind, bits) == (not all(bits))
+
+    @pytest.mark.parametrize("kind", [GateKind.NOR2, GateKind.NOR3, GateKind.NOR4])
+    def test_nor_truth_table(self, kind):
+        n = num_inputs(kind)
+        for bits in itertools.product([False, True], repeat=n):
+            assert logic_eval(kind, bits) == (not any(bits))
+
+    @pytest.mark.parametrize("kind", [GateKind.AND3, GateKind.OR4])
+    def test_and_or(self, kind):
+        n = num_inputs(kind)
+        for bits in itertools.product([False, True], repeat=n):
+            expected = all(bits) if kind is GateKind.AND3 else any(bits)
+            assert logic_eval(kind, bits) == expected
+
+    def test_xor_xnor(self):
+        for a, b in itertools.product([False, True], repeat=2):
+            assert logic_eval(GateKind.XOR2, [a, b]) == (a != b)
+            assert logic_eval(GateKind.XNOR2, [a, b]) == (a == b)
+
+    def test_demorgan_identity(self):
+        # NOR(a, b) == INV(NAND(INV(a), INV(b))) -- the section 4.2 rewrite.
+        for a, b in itertools.product([False, True], repeat=2):
+            direct = logic_eval(GateKind.NOR2, [a, b])
+            rewritten = logic_eval(
+                GateKind.INV,
+                [
+                    logic_eval(
+                        GateKind.NAND2,
+                        [
+                            logic_eval(GateKind.INV, [a]),
+                            logic_eval(GateKind.INV, [b]),
+                        ],
+                    )
+                ],
+            )
+            assert direct == rewritten
+
+
+class TestPolarity:
+    def test_inverting_set(self):
+        assert is_inverting(GateKind.INV)
+        assert is_inverting(GateKind.NAND3)
+        assert is_inverting(GateKind.NOR2)
+        assert is_inverting(GateKind.XNOR2)
+        assert not is_inverting(GateKind.BUF)
+        assert not is_inverting(GateKind.AND2)
+        assert not is_inverting(GateKind.OR4)
+        assert not is_inverting(GateKind.XOR2)
+
+
+class TestKindFamilies:
+    def test_lookups(self):
+        assert nand_kind(3) is GateKind.NAND3
+        assert nor_kind(2) is GateKind.NOR2
+        assert and_kind(4) is GateKind.AND4
+        assert or_kind(3) is GateKind.OR3
+
+    @pytest.mark.parametrize("fn", [nand_kind, nor_kind, and_kind, or_kind])
+    @pytest.mark.parametrize("width", [1, 5, 0])
+    def test_out_of_range(self, fn, width):
+        with pytest.raises(ValueError):
+            fn(width)

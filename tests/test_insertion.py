@@ -1,0 +1,145 @@
+"""Tests for buffer insertion on bounded paths."""
+
+import numpy as np
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.buffering.insertion import (
+    default_flimits,
+    distribute_with_buffers,
+    insert_buffers_at,
+    min_delay_with_buffers,
+    overloaded_stages,
+)
+from repro.sizing.bounds import min_delay_bound
+from repro.sizing.sensitivity import distribute_constraint
+from repro.timing.path import make_path
+
+
+@pytest.fixture(scope="module")
+def limits(lib):
+    return default_flimits(lib)
+
+
+@pytest.fixture()
+def hot_path(lib):
+    """A path with one massively loaded interior node (side fan-out).
+
+    The side load is large enough that even the Tmin sizing cannot absorb
+    it below the Flimit -- the regime where buffers beat sizing.
+    """
+    side = [0.0, 0.0, 400.0 * lib.cref, 0.0, 0.0]
+    return make_path(
+        [GateKind.INV, GateKind.NAND2, GateKind.NOR2, GateKind.NAND2, GateKind.INV],
+        lib,
+        cterm_ff=10.0 * lib.cref,
+        cside_ff=side,
+    )
+
+
+class TestOverloadDetection:
+    def test_hot_node_flagged(self, lib, hot_path, limits):
+        _, sizes, _, _ = min_delay_bound(hot_path, lib)
+        flagged = overloaded_stages(hot_path, sizes, limits)
+        assert 2 in flagged
+
+    def test_balanced_path_unflagged(self, lib, limits):
+        path = make_path([GateKind.INV] * 5, lib, cterm_ff=8.0 * lib.cref)
+        _, sizes, _, _ = min_delay_bound(path, lib)
+        assert overloaded_stages(path, sizes, limits) == []
+
+    def test_margin_scales_threshold(self, lib, hot_path, limits):
+        _, sizes, _, _ = min_delay_bound(hot_path, lib)
+        strict = overloaded_stages(hot_path, sizes, limits, margin=0.1)
+        lax = overloaded_stages(hot_path, sizes, limits, margin=100.0)
+        assert len(strict) >= len(overloaded_stages(hot_path, sizes, limits))
+        assert lax == []
+
+
+class TestInsertion:
+    def test_insert_moves_side_load(self, lib, hot_path):
+        new_path, positions = insert_buffers_at(hot_path, [2], lib, buffer_stages=2)
+        assert len(new_path) == len(hot_path) + 2
+        assert positions == [3, 4]
+        # The NOR no longer carries the side load; the last buffer does.
+        assert new_path.stages[2].cside_ff == 0.0
+        assert new_path.stages[4].cside_ff == pytest.approx(400.0 * lib.cref)
+
+    def test_multi_insertion_index_shift(self, lib, hot_path):
+        new_path, positions = insert_buffers_at(
+            hot_path, [1, 3], lib, buffer_stages=1
+        )
+        assert len(new_path) == len(hot_path) + 2
+        # Second insertion lands after the shift from the first.
+        assert positions == [2, 5]
+        assert new_path.stages[2].cell.kind is GateKind.INV
+        assert new_path.stages[5].cell.kind is GateKind.INV
+
+    def test_invalid_buffer_stages(self, lib, hot_path):
+        with pytest.raises(ValueError):
+            insert_buffers_at(hot_path, [2], lib, buffer_stages=0)
+
+
+class TestMinDelayWithBuffers:
+    def test_improves_hot_path(self, lib, hot_path, limits):
+        result = min_delay_with_buffers(hot_path, lib, limits=limits)
+        assert result.inserted_at  # something was inserted
+        assert result.delay_ps < result.baseline_delay_ps
+        assert 0.0 < result.gain < 0.6
+
+    def test_leaves_balanced_path_alone(self, lib, limits):
+        path = make_path([GateKind.INV] * 5, lib, cterm_ff=8.0 * lib.cref)
+        result = min_delay_with_buffers(path, lib, limits=limits)
+        assert result.inserted_at == ()
+        assert result.path is path
+        assert result.gain == 0.0
+
+    def test_local_mode_freezes_gates(self, lib, hot_path, limits):
+        base_tmin, base_sizes, _, _ = min_delay_bound(hot_path, lib)
+        result = min_delay_with_buffers(hot_path, lib, limits=limits, mode="local")
+        if result.inserted_at:
+            # Original gates kept their Tmin sizes.
+            original = [s for s in result.path.stages if "buf" not in s.name]
+            kept = [
+                result.sizes[i]
+                for i, s in enumerate(result.path.stages)
+                if "buf" not in s.name
+            ]
+            np.testing.assert_allclose(kept, base_sizes, rtol=1e-6)
+
+    def test_local_never_beats_global(self, lib, hot_path, limits):
+        local = min_delay_with_buffers(hot_path, lib, limits=limits, mode="local")
+        global_ = min_delay_with_buffers(hot_path, lib, limits=limits, mode="global")
+        assert global_.delay_ps <= local.delay_ps + 1e-6
+
+    def test_invalid_mode(self, lib, hot_path):
+        with pytest.raises(ValueError):
+            min_delay_with_buffers(hot_path, lib, mode="sideways")
+
+
+class TestDistributeWithBuffers:
+    def test_extends_feasible_range(self, lib, hot_path, limits):
+        """A constraint below the sizing-only Tmin becomes feasible."""
+        plain_tmin, _, _, _ = min_delay_bound(hot_path, lib)
+        buffered = min_delay_with_buffers(hot_path, lib, limits=limits)
+        assert buffered.delay_ps < plain_tmin
+        tc = 0.5 * (buffered.delay_ps + plain_tmin)  # between the two minima
+        plain = distribute_constraint(hot_path, lib, tc)
+        assert not plain.feasible
+        result, path, inserted = distribute_with_buffers(
+            hot_path, lib, tc, limits=limits
+        )
+        assert result.feasible
+        assert inserted
+
+    def test_area_reduction_in_medium_domain(self, lib, hot_path, limits):
+        """Fig. 6's medium-constraint story: buffers save area."""
+        plain_tmin, _, _, _ = min_delay_bound(hot_path, lib)
+        tc = 1.3 * plain_tmin
+        plain = distribute_constraint(hot_path, lib, tc)
+        buffered, _, inserted = distribute_with_buffers(
+            hot_path, lib, tc, limits=limits
+        )
+        assert plain.feasible and buffered.feasible
+        if inserted:
+            assert buffered.area_um < plain.area_um

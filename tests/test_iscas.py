@@ -1,0 +1,79 @@
+"""Tests for the benchmark registry, generator and loader."""
+
+import pytest
+
+from repro.iscas.generator import generate_circuit
+from repro.iscas.loader import benchmark_names, load_benchmark
+from repro.iscas.profiles import PAPER_ORDER, PROFILES, profile
+from repro.netlist.bench_parser import to_bench
+
+
+class TestRegistry:
+    def test_paper_circuits_present(self):
+        for name in ("adder16", "c432", "c499", "c880", "c1355", "c1908",
+                     "c3540", "c5315", "c6288", "c7552", "fpd"):
+            assert name in PROFILES
+
+    def test_paper_order_subset(self):
+        assert set(PAPER_ORDER) <= set(PROFILES)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            profile("c9999")
+
+    def test_benchmark_names_ordered(self):
+        names = benchmark_names()
+        assert names[: len(PAPER_ORDER)] == list(PAPER_ORDER)
+        assert "fpd" in names
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("name", ["fpd", "c432", "c1355"])
+    def test_deterministic(self, name):
+        first = generate_circuit(profile(name))
+        second = generate_circuit(profile(name))
+        assert to_bench(first) == to_bench(second)
+
+    @pytest.mark.parametrize("name", ["c432", "c880", "c1908"])
+    def test_scale_matches_profile(self, name):
+        prof = profile(name)
+        circuit = generate_circuit(prof)
+        assert len(circuit) == pytest.approx(prof.total_gates, rel=0.05)
+        # The spine pins the depth at path_gates (+1 for side logic).
+        assert abs(circuit.depth() - prof.path_gates) <= 1
+
+    def test_validates(self):
+        circuit = generate_circuit(profile("c499"))
+        circuit.validate()  # no dangling nets, acyclic
+
+    def test_nor_share_responds_to_profile(self):
+        rich = generate_circuit(profile("c1355"))   # nor_fraction 0.22
+        poor = generate_circuit(profile("c6288"))   # nor_fraction 0.05
+        def nor_share(c):
+            spine = [g for g in c.gates.values() if g.name.startswith("sp")]
+            nors = [g for g in spine if g.kind.value.startswith("nor")]
+            return len(nors) / len(spine)
+        assert nor_share(rich) > nor_share(poor)
+
+
+class TestLoader:
+    def test_adder16_is_exact(self):
+        adder = load_benchmark("adder16")
+        assert len(adder) == 144
+        assert adder.name == "adder16"
+
+    def test_loader_returns_fresh_copies(self):
+        first = load_benchmark("c432")
+        first.gates[next(iter(first.gates))].cin_ff = 99.0
+        second = load_benchmark("c432")
+        assert second.gates[next(iter(second.gates))].cin_ff is None
+
+    def test_bench_dir_override(self, tmp_path):
+        text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"
+        (tmp_path / "c432.bench").write_text(text)
+        c = load_benchmark("c432", bench_dir=str(tmp_path))
+        assert len(c) == 1  # the real file won, not the synthetic stand-in
+
+    def test_bench_dir_miss_falls_back(self, tmp_path):
+        c = load_benchmark("c432", bench_dir=str(tmp_path))
+        assert len(c) > 100

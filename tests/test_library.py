@@ -1,0 +1,80 @@
+"""Unit tests for the standard cell library."""
+
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.cells.library import Library, UnknownCellError, default_library
+from repro.process.technology import CMOS018, CMOS025
+
+
+class TestDefaultLibrary:
+    def test_covers_every_gate_kind(self, lib):
+        for kind in GateKind:
+            assert kind in lib
+            assert lib.cell(kind).kind is kind
+
+    def test_cref_is_min_inverter(self, lib):
+        assert lib.cref == pytest.approx(lib.inverter.cin_min(lib.tech))
+
+    def test_len_and_iter(self, lib):
+        assert len(lib) == len(list(lib))
+        assert len(lib) == len(GateKind)
+
+    def test_unknown_cell_error(self, lib):
+        restricted = Library(
+            tech=lib.tech, cells={GateKind.INV: lib.inverter}
+        )
+        with pytest.raises(UnknownCellError):
+            restricted.cell(GateKind.NAND2)
+
+    def test_library_requires_inverter(self, lib):
+        with pytest.raises(ValueError):
+            Library(tech=lib.tech, cells={GateKind.NAND2: lib.cell(GateKind.NAND2)})
+
+    def test_other_technology(self):
+        lib18 = default_library(CMOS018)
+        assert lib18.tech is CMOS018
+        assert lib18.cref < default_library(CMOS025).cref
+
+
+class TestLogicalWeightStructure:
+    """The Table 2 ordering is rooted in these weight relations."""
+
+    def test_nand_family_hl_increases_with_stack(self, lib):
+        weights = [lib.cell(k).dw_hl for k in (GateKind.INV, GateKind.NAND2,
+                                               GateKind.NAND3, GateKind.NAND4)]
+        assert all(b > a for a, b in zip(weights, weights[1:]))
+
+    def test_nor_family_lh_increases_with_stack(self, lib):
+        weights = [lib.cell(k).dw_lh for k in (GateKind.INV, GateKind.NOR2,
+                                               GateKind.NOR3, GateKind.NOR4)]
+        assert all(b > a for a, b in zip(weights, weights[1:]))
+
+    def test_nor_slower_than_nand_overall(self, lib):
+        """R amplifies the P-stack penalty: NOR worst-edge S beats NAND's."""
+        tech = lib.tech
+        for n_kind, r_kind in [
+            (GateKind.NAND2, GateKind.NOR2),
+            (GateKind.NAND3, GateKind.NOR3),
+        ]:
+            nand_worst = max(lib.cell(n_kind).s_hl(tech), lib.cell(n_kind).s_lh(tech))
+            nor_worst = max(lib.cell(r_kind).s_hl(tech), lib.cell(r_kind).s_lh(tech))
+            assert nor_worst > nand_worst
+
+    def test_parasitics_grow_with_fanin(self, lib):
+        assert (
+            lib.cell(GateKind.NAND2).p_intrinsic
+            < lib.cell(GateKind.NAND3).p_intrinsic
+            < lib.cell(GateKind.NAND4).p_intrinsic
+        )
+
+    def test_composites_carry_area_overhead(self, lib):
+        assert lib.cell(GateKind.AND2).area_factor > 1.0
+        assert lib.cell(GateKind.BUF).area_factor > 1.0
+        assert lib.cell(GateKind.INV).area_factor == 1.0
+
+    def test_k_ratio_override(self):
+        lib3 = default_library(k_ratio=3.0)
+        assert lib3.inverter.k_ratio == 3.0
+        # Larger k widens the P share: higher CREF per w_min.
+        assert lib3.cref > default_library(k_ratio=2.0).cref

@@ -1,0 +1,107 @@
+"""Unit tests for the bounded path data model."""
+
+import numpy as np
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.timing.delay_model import Edge
+from repro.timing.path import BoundedPath, PathStage, make_path
+
+
+class TestConstruction:
+    def test_make_path_defaults(self, lib):
+        path = make_path([GateKind.INV, GateKind.NAND2], lib)
+        assert len(path) == 2
+        assert path.cin_first_ff == pytest.approx(2.0 * lib.cref)
+        assert path.cterm_ff == pytest.approx(8.0 * lib.cref)
+        assert path.input_edge is Edge.RISE
+
+    def test_empty_rejected(self, lib):
+        with pytest.raises(ValueError):
+            make_path([], lib)
+
+    def test_side_loads_must_match(self, lib):
+        with pytest.raises(ValueError):
+            make_path([GateKind.INV, GateKind.INV], lib, cside_ff=[1.0])
+
+    def test_negative_side_load_rejected(self, lib):
+        with pytest.raises(ValueError):
+            PathStage(cell=lib.inverter, cside_ff=-1.0)
+
+    def test_bad_boundaries(self, lib):
+        stage = PathStage(cell=lib.inverter)
+        with pytest.raises(ValueError):
+            BoundedPath(stages=(stage,), cin_first_ff=0.0, cterm_ff=10.0)
+        with pytest.raises(ValueError):
+            BoundedPath(stages=(stage,), cin_first_ff=5.0, cterm_ff=-1.0)
+        with pytest.raises(ValueError):
+            BoundedPath(stages=(), cin_first_ff=5.0, cterm_ff=1.0)
+
+
+class TestPolarityChain:
+    def test_edges_alternate_through_inverters(self, lib):
+        path = make_path([GateKind.INV] * 4, lib)
+        assert path.edge_at(0) is Edge.RISE
+        assert path.edge_at(1) is Edge.FALL
+        assert path.edge_at(2) is Edge.RISE
+        assert path.edge_at(3) is Edge.FALL
+
+    def test_non_inverting_preserves_edge(self, lib):
+        path = make_path([GateKind.AND2, GateKind.INV], lib)
+        assert path.edge_at(0) is Edge.RISE
+        assert path.edge_at(1) is Edge.RISE
+
+
+class TestSizeVectors:
+    def test_min_sizes_pins_first(self, short_path, lib):
+        sizes = short_path.min_sizes(lib)
+        assert sizes[0] == pytest.approx(short_path.cin_first_ff)
+        for i, stage in enumerate(short_path.stages[1:], start=1):
+            assert sizes[i] == pytest.approx(stage.cell.cin_min(lib.tech))
+
+    def test_clamp_projects_to_box(self, short_path, lib):
+        raw = np.full(len(short_path), 0.01)
+        clamped = short_path.clamp_sizes(raw, lib)
+        assert clamped[0] == pytest.approx(short_path.cin_first_ff)
+        for i, stage in enumerate(short_path.stages[1:], start=1):
+            assert clamped[i] >= stage.cell.cin_min(lib.tech)
+
+    def test_clamp_shape_checked(self, short_path, lib):
+        with pytest.raises(ValueError):
+            short_path.clamp_sizes([1.0, 2.0], lib)
+
+
+class TestStructuralEdits:
+    def test_insert(self, short_path, lib):
+        stage = PathStage(cell=lib.inverter, name="buf")
+        longer = short_path.with_stage_inserted(2, stage)
+        assert len(longer) == len(short_path) + 1
+        assert longer.stages[2].name == "buf"
+        # Original untouched.
+        assert len(short_path) == 4
+
+    def test_insert_bounds_checked(self, short_path, lib):
+        stage = PathStage(cell=lib.inverter)
+        with pytest.raises(ValueError):
+            short_path.with_stage_inserted(99, stage)
+
+    def test_replace(self, short_path, lib):
+        stage = PathStage(cell=lib.cell(GateKind.NAND3), name="sub")
+        edited = short_path.with_stage_replaced(1, stage)
+        assert edited.stages[1].cell.kind is GateKind.NAND3
+        assert short_path.stages[1].cell.kind is GateKind.NAND2
+
+    def test_replace_bounds_checked(self, short_path, lib):
+        stage = PathStage(cell=lib.inverter)
+        with pytest.raises(ValueError):
+            short_path.with_stage_replaced(4, stage)
+
+    def test_terminal_load_swap(self, short_path):
+        heavier = short_path.with_terminal_load(500.0)
+        assert heavier.cterm_ff == 500.0
+        assert heavier.stages == short_path.stages
+
+    def test_kinds_view(self, short_path):
+        assert short_path.kinds == (
+            GateKind.INV, GateKind.NAND2, GateKind.NOR2, GateKind.INV,
+        )

@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These are the load-bearing guarantees of the reproduction:
+
+* convexity -- the eq. 4 fixed point is a true lower bound;
+* constraint distribution never violates or needlessly overshoots Tc;
+* the delay model is monotone in the physically obvious directions;
+* netlist round-trips and rewrites preserve logic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cells.gate_types import GateKind, logic_eval, num_inputs
+from repro.cells.library import default_library
+from repro.netlist.bench_parser import parse_bench, to_bench
+from repro.netlist.circuit import Circuit, equivalent
+from repro.restructuring.demorgan import rewrite_all_nors
+from repro.sizing.bounds import min_delay_bound
+from repro.sizing.sensitivity import distribute_constraint
+from repro.timing.delay_model import Edge, gate_delay
+from repro.timing.evaluation import path_delay_ps
+from repro.timing.path import make_path
+
+LIB = default_library()
+
+PATH_KINDS = st.lists(
+    st.sampled_from(
+        [
+            GateKind.INV,
+            GateKind.NAND2,
+            GateKind.NAND3,
+            GateKind.NOR2,
+            GateKind.NOR3,
+            GateKind.AND2,
+            GateKind.OR2,
+        ]
+    ),
+    min_size=2,
+    max_size=8,
+)
+
+LOADS = st.floats(min_value=2.0, max_value=60.0)  # in CREF units
+
+
+def _build_path(kinds, cterm_mult, side_mults):
+    side = [m * LIB.cref for m in side_mults[: len(kinds)]]
+    side += [0.0] * (len(kinds) - len(side))
+    return make_path(kinds, LIB, cterm_ff=cterm_mult * LIB.cref, cside_ff=side)
+
+
+class TestDelayModelProperties:
+    @given(
+        kind=st.sampled_from(list(GateKind)),
+        cin=st.floats(min_value=3.0, max_value=200.0),
+        cload=st.floats(min_value=1.0, max_value=500.0),
+        tin=st.floats(min_value=0.0, max_value=500.0),
+        edge=st.sampled_from([Edge.RISE, Edge.FALL]),
+    )
+    @settings(max_examples=150)
+    def test_delay_positive_and_finite(self, kind, cin, cload, tin, edge):
+        cell = LIB.cell(kind)
+        timing = gate_delay(cell, LIB.tech, cin, cload, tin, edge)
+        assert 0.0 < timing.delay_ps < 1e7
+        assert 0.0 < timing.tout_ps < 1e7
+
+    @given(
+        kind=st.sampled_from(list(GateKind)),
+        cin=st.floats(min_value=3.0, max_value=100.0),
+        cload=st.floats(min_value=1.0, max_value=300.0),
+        extra=st.floats(min_value=1.0, max_value=300.0),
+        edge=st.sampled_from([Edge.RISE, Edge.FALL]),
+    )
+    @settings(max_examples=150)
+    def test_delay_monotone_in_load(self, kind, cin, cload, extra, edge):
+        cell = LIB.cell(kind)
+        light = gate_delay(cell, LIB.tech, cin, cload, 0.0, edge)
+        heavy = gate_delay(cell, LIB.tech, cin, cload + extra, 0.0, edge)
+        assert heavy.delay_ps > light.delay_ps
+        assert heavy.tout_ps > light.tout_ps
+
+    @given(
+        kind=st.sampled_from(list(GateKind)),
+        cin=st.floats(min_value=3.0, max_value=100.0),
+        factor=st.floats(min_value=1.1, max_value=8.0),
+        cload=st.floats(min_value=50.0, max_value=400.0),
+        edge=st.sampled_from([Edge.RISE, Edge.FALL]),
+    )
+    @settings(max_examples=150)
+    def test_transition_improves_with_drive(self, kind, cin, factor, cload, edge):
+        cell = LIB.cell(kind)
+        small = gate_delay(cell, LIB.tech, cin, cload, 0.0, edge)
+        big = gate_delay(cell, LIB.tech, cin * factor, cload, 0.0, edge)
+        assert big.tout_ps < small.tout_ps
+
+
+class TestBoundsProperties:
+    @given(
+        kinds=PATH_KINDS,
+        cterm=LOADS,
+        side=st.lists(st.floats(min_value=0.0, max_value=40.0), max_size=8),
+        scales=st.lists(st.floats(min_value=1.0, max_value=60.0), min_size=8,
+                        max_size=8),
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_tmin_is_lower_bound(self, kinds, cterm, side, scales):
+        path = _build_path(kinds, cterm, side)
+        tmin, _, _, _ = min_delay_bound(path, LIB)
+        mins = path.min_sizes(LIB)
+        sizes = mins * np.array(scales[: len(kinds)])
+        sizes = path.clamp_sizes(sizes, LIB)
+        assert path_delay_ps(path, sizes, LIB) >= tmin - 1e-6
+
+    @given(kinds=PATH_KINDS, cterm=LOADS,
+           seed_mult=st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_tmin_seed_invariance(self, kinds, cterm, seed_mult):
+        path = _build_path(kinds, cterm, [])
+        t_default, _, _, _ = min_delay_bound(path, LIB)
+        t_seeded, _, _, _ = min_delay_bound(
+            path, LIB, cref_ff=seed_mult * LIB.cref
+        )
+        assert t_seeded == pytest.approx(t_default, rel=1e-3)
+
+
+class TestConstraintProperties:
+    @given(
+        kinds=PATH_KINDS,
+        cterm=LOADS,
+        ratio=st.floats(min_value=1.05, max_value=4.0),
+    )
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_distribution_meets_feasible_tc(self, kinds, cterm, ratio):
+        path = _build_path(kinds, cterm, [])
+        tmin, _, _, _ = min_delay_bound(path, LIB)
+        tc = ratio * tmin
+        result = distribute_constraint(path, LIB, tc)
+        assert result.feasible
+        assert result.achieved_delay_ps <= tc * (1.0 + 1e-6)
+        assert result.area_um > 0.0
+
+    @given(kinds=PATH_KINDS, cterm=LOADS,
+           ratio=st.floats(min_value=0.3, max_value=0.97))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_distribution_flags_infeasible_tc(self, kinds, cterm, ratio):
+        path = _build_path(kinds, cterm, [])
+        tmin, _, _, _ = min_delay_bound(path, LIB)
+        result = distribute_constraint(path, LIB, ratio * tmin)
+        assert not result.feasible
+
+
+def random_circuit(draw):
+    """Hypothesis-drawn small random DAG with guaranteed outputs."""
+    n_inputs = draw(st.integers(min_value=2, max_value=5))
+    n_gates = draw(st.integers(min_value=1, max_value=10))
+    circuit = Circuit("rand")
+    nets = [circuit.add_input(f"i{k}") for k in range(n_inputs)]
+    for g in range(n_gates):
+        kind = draw(
+            st.sampled_from(
+                [
+                    GateKind.INV,
+                    GateKind.NAND2,
+                    GateKind.NOR2,
+                    GateKind.AND2,
+                    GateKind.OR2,
+                    GateKind.XOR2,
+                    GateKind.NOR3,
+                ]
+            )
+        )
+        fanin = [
+            nets[draw(st.integers(min_value=0, max_value=len(nets) - 1))]
+            for _ in range(num_inputs(kind))
+        ]
+        circuit.add_gate(f"g{g}", kind, fanin)
+        nets.append(f"g{g}")
+    circuit.add_output(f"g{n_gates - 1}")
+    circuit.validate()
+    return circuit
+
+
+circuits = st.composite(random_circuit)
+
+
+class TestNetlistProperties:
+    @given(circuit=circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_bench_roundtrip_equivalence(self, circuit):
+        text = to_bench(circuit)
+        parsed = parse_bench(text)
+        vectors = _sample_vectors(circuit, 24)
+        assert equivalent(circuit, parsed, vectors)
+
+    @given(circuit=circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_demorgan_rewrite_equivalence(self, circuit):
+        rewritten, _ = rewrite_all_nors(circuit)
+        vectors = _sample_vectors(circuit, 24)
+        assert equivalent(circuit, rewritten, vectors)
+        assert not any(
+            g.kind in (GateKind.NOR2, GateKind.NOR3, GateKind.NOR4)
+            for g in rewritten.gates.values()
+        )
+
+    @given(circuit=circuits())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_extractor_matches_sta(self, circuit):
+        from repro.timing.critical_paths import critical_path
+        from repro.timing.sta import analyze
+
+        sta = analyze(circuit, LIB)
+        top = critical_path(circuit, LIB)
+        # The extractor re-evaluates exactly; STA's slew merging can only
+        # make its figure >= any single path's exact delay.
+        assert top.delay_ps <= sta.critical_delay_ps * (1.0 + 1e-9)
+        assert top.delay_ps >= 0.5 * sta.critical_delay_ps
+
+
+def _sample_vectors(circuit, count):
+    rng = np.random.default_rng(99)
+    return [
+        {net: bool(rng.integers(2)) for net in circuit.inputs}
+        for _ in range(count)
+    ]
+
+
+class TestLogicProperties:
+    @given(
+        kind=st.sampled_from(list(GateKind)),
+        data=st.data(),
+    )
+    @settings(max_examples=200)
+    def test_inverting_flag_consistent_with_logic(self, kind, data):
+        """is_inverting matches the truth table around the all-non-controlling
+        input point used by the path polarity engine."""
+        n = num_inputs(kind)
+        if kind in (GateKind.XOR2, GateKind.XNOR2):
+            base = [False] * n
+        elif kind.value.startswith(("nand", "and")):
+            base = [True] * n
+        elif kind.value.startswith(("nor", "or")):
+            base = [False] * n
+        else:
+            base = [False] * n
+        pin = data.draw(st.integers(min_value=0, max_value=n - 1))
+        low = list(base)
+        low[pin] = False
+        high = list(base)
+        high[pin] = True
+        out_low = logic_eval(kind, low)
+        out_high = logic_eval(kind, high)
+        from repro.cells.gate_types import is_inverting
+
+        if out_low != out_high:  # the pin is observable at this point
+            assert is_inverting(kind) == (out_high < out_low)

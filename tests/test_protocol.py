@@ -1,0 +1,162 @@
+"""Tests for the constraint domains and the Fig. 7 protocol driver."""
+
+import numpy as np
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.buffering.insertion import default_flimits
+from repro.protocol.domains import (
+    ConstraintDomain,
+    classify_constraint,
+)
+from repro.protocol.optimizer import optimize_circuit, optimize_path
+from repro.protocol.report import format_gain, format_table
+from repro.sizing.bounds import delay_bounds
+from repro.timing.path import make_path
+
+
+@pytest.fixture(scope="module")
+def limits(lib):
+    return default_flimits(lib)
+
+
+class TestDomains:
+    @pytest.mark.parametrize(
+        "ratio, expected",
+        [
+            (3.0, ConstraintDomain.WEAK),
+            (2.5, ConstraintDomain.WEAK),
+            (2.0, ConstraintDomain.MEDIUM),
+            (1.2, ConstraintDomain.MEDIUM),
+            (1.1, ConstraintDomain.HARD),
+            (1.0, ConstraintDomain.HARD),
+            (0.9, ConstraintDomain.INFEASIBLE),
+        ],
+    )
+    def test_fig6_boundaries(self, ratio, expected):
+        tmin = 500.0
+        result = classify_constraint(ratio * tmin, tmin)
+        assert result.domain is expected
+        assert result.severity == pytest.approx(ratio)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classify_constraint(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            classify_constraint(1.0, 0.0)
+        with pytest.raises(ValueError):
+            classify_constraint(1.0, 1.0, weak_threshold=1.0, hard_threshold=1.2)
+
+
+class TestPathProtocol:
+    def test_weak_uses_sizing(self, eleven_gate_path, lib, limits):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        outcome = optimize_path(
+            eleven_gate_path, lib, 3.0 * bounds.tmin_ps, limits=limits
+        )
+        assert outcome.domain.domain is ConstraintDomain.WEAK
+        assert outcome.method == "sizing"
+        assert outcome.feasible
+        assert outcome.path is eleven_gate_path  # structure conserved
+
+    def test_medium_constraint_met(self, eleven_gate_path, lib, limits):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        outcome = optimize_path(
+            eleven_gate_path, lib, 1.5 * bounds.tmin_ps, limits=limits
+        )
+        assert outcome.domain.domain is ConstraintDomain.MEDIUM
+        assert outcome.feasible
+        assert outcome.method in ("sizing", "buffering")
+
+    def test_hard_constraint_met(self, eleven_gate_path, lib, limits):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        outcome = optimize_path(
+            eleven_gate_path, lib, 1.1 * bounds.tmin_ps, limits=limits
+        )
+        assert outcome.domain.domain is ConstraintDomain.HARD
+        assert outcome.feasible
+
+    def test_infeasible_triggers_structure_modification(self, lib, limits):
+        """Tc below Tmin forces buffering or De Morgan rewriting."""
+        path = make_path(
+            [GateKind.INV, GateKind.NOR2, GateKind.NAND2, GateKind.NOR3,
+             GateKind.INV],
+            lib,
+            cterm_ff=10.0 * lib.cref,
+            cside_ff=[0.0, 300.0 * lib.cref, 0.0, 150.0 * lib.cref, 0.0],
+        )
+        bounds = delay_bounds(path, lib)
+        outcome = optimize_path(path, lib, 0.93 * bounds.tmin_ps, limits=limits)
+        assert outcome.domain.domain is ConstraintDomain.INFEASIBLE
+        assert outcome.method in ("buffering+sizing", "restructuring")
+        assert outcome.feasible
+        assert len(outcome.path) > len(path)  # structure was modified
+
+    def test_impossible_constraint_reported(self, lib, limits):
+        path = make_path([GateKind.INV, GateKind.INV], lib)
+        outcome = optimize_path(path, lib, 1.0, limits=limits)  # 1 ps
+        assert not outcome.feasible
+
+    def test_area_monotone_across_domains(self, eleven_gate_path, lib, limits):
+        """Tighter constraints cost area, protocol-wide (Fig. 8 shape)."""
+        bounds = delay_bounds(eleven_gate_path, lib)
+        areas = []
+        for ratio in (3.0, 1.6, 1.1):
+            outcome = optimize_path(
+                eleven_gate_path, lib, ratio * bounds.tmin_ps, limits=limits
+            )
+            assert outcome.feasible
+            areas.append(outcome.area_um)
+        assert areas[0] < areas[1] < areas[2]
+
+    def test_tc_validation(self, eleven_gate_path, lib, limits):
+        with pytest.raises(ValueError):
+            optimize_path(eleven_gate_path, lib, 0.0, limits=limits)
+
+
+class TestCircuitProtocol:
+    def test_fpd_end_to_end(self, lib, limits):
+        from repro.iscas.loader import load_benchmark
+        from repro.timing.sta import analyze
+
+        circuit = load_benchmark("fpd")
+        start_delay = analyze(circuit, lib).critical_delay_ps
+        result = optimize_circuit(
+            circuit, lib, tc_ps=0.75 * start_delay, k_paths=3, limits=limits
+        )
+        assert result.critical_delay_ps < start_delay
+        assert result.path_results  # the protocol actually ran
+        # The input circuit is untouched.
+        assert all(g.cin_ff is None for g in circuit.gates.values())
+
+    def test_already_met_constraint_is_noop(self, lib, limits):
+        from repro.iscas.loader import load_benchmark
+        from repro.timing.sta import analyze
+
+        circuit = load_benchmark("fpd")
+        start_delay = analyze(circuit, lib).critical_delay_ps
+        result = optimize_circuit(
+            circuit, lib, tc_ps=2.0 * start_delay, limits=limits
+        )
+        assert result.feasible
+        assert result.path_results == []
+
+
+class TestReport:
+    def test_format_table(self):
+        table = format_table(
+            ("circuit", "Tmin"),
+            [("c432", 1537.85), ("adder16", 870.2)],
+            title="demo",
+        )
+        assert "demo" in table
+        assert "c432" in table
+        assert "1538" in table  # large floats printed as integers
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_format_gain(self):
+        assert format_gain(100.0, 87.0) == "13%"
+        assert format_gain(0.0, 1.0) == "n/a"

@@ -1,0 +1,155 @@
+"""Tests for the constant sensitivity method (section 3.2, eqs. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.sizing.bounds import delay_bounds
+from repro.sizing.sensitivity import (
+    distribute_constraint,
+    sensitivity_sweep,
+    solve_sensitivity,
+)
+from repro.timing.evaluation import delay_gradient, path_area_um, path_delay_ps
+from repro.timing.path import make_path
+
+
+class TestSolveSensitivity:
+    def test_a_zero_recovers_tmin(self, eleven_gate_path, lib):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        sol = solve_sensitivity(eleven_gate_path, lib, 0.0)
+        assert sol.delay_ps == pytest.approx(bounds.tmin_ps, rel=5e-3)
+
+    def test_positive_a_rejected(self, eleven_gate_path, lib):
+        with pytest.raises(ValueError):
+            solve_sensitivity(eleven_gate_path, lib, 0.1)
+
+    def test_bad_weight_mode(self, eleven_gate_path, lib):
+        with pytest.raises(ValueError):
+            solve_sensitivity(eleven_gate_path, lib, -0.1, weight_mode="bogus")
+
+    def test_eq6_sensitivity_equalised(self, eleven_gate_path, lib):
+        """Eq. 6 literally: the link-equation sensitivity equals ``a`` on
+        every unclamped stage at the fixed point.
+
+        (The paper's eq. 6 treats the ``A_i`` as design parameters, i.e.
+        the coupling factor is frozen while differentiating; this is the
+        same surrogate the solver iterates, so the fixed point must
+        satisfy it tightly.)
+        """
+        from repro.timing.evaluation import effective_a_coeffs
+
+        a = -0.5
+        path = eleven_gate_path
+        sol = solve_sensitivity(path, lib, a)
+        coeffs = effective_a_coeffs(path, sol.sizes, lib)
+        mins = path.min_sizes(lib)
+        n = len(path)
+        for i in range(1, n):
+            if sol.sizes[i] <= mins[i] * 1.01:  # clamped at minimum drive
+                continue
+            ext_i = path.stages[i].cside_ff + (
+                sol.sizes[i + 1] if i + 1 < n else path.cterm_ff
+            )
+            surrogate = (
+                coeffs[i - 1] / sol.sizes[i - 1]
+                - coeffs[i] * ext_i / sol.sizes[i] ** 2
+            )
+            assert surrogate == pytest.approx(a, rel=0.02, abs=0.01)
+
+    def test_delay_monotone_in_a(self, eleven_gate_path, lib):
+        a_values = np.array([-3.0, -1.0, -0.3, -0.1, 0.0])
+        sweep = sensitivity_sweep(eleven_gate_path, lib, a_values)
+        delays = [s.delay_ps for s in sweep]
+        assert all(b <= a + 1e-6 for a, b in zip(delays, delays[1:]))
+
+    def test_area_monotone_in_a(self, eleven_gate_path, lib):
+        a_values = np.array([-3.0, -1.0, -0.3, -0.1, 0.0])
+        sweep = sensitivity_sweep(eleven_gate_path, lib, a_values)
+        areas = [s.area_um for s in sweep]
+        assert all(b >= a - 1e-6 for a, b in zip(areas, areas[1:]))
+
+
+class TestDistributeConstraint:
+    def test_meets_feasible_constraint(self, eleven_gate_path, lib):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        tc = 1.3 * bounds.tmin_ps
+        result = distribute_constraint(eleven_gate_path, lib, tc)
+        assert result.feasible
+        assert result.achieved_delay_ps <= tc * (1.0 + 1e-6)
+        # And tight: no area wasted on unnecessary slack.
+        assert result.achieved_delay_ps >= tc * 0.97
+
+    def test_infeasible_reports_tmin(self, eleven_gate_path, lib):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        result = distribute_constraint(eleven_gate_path, lib, 0.8 * bounds.tmin_ps)
+        assert not result.feasible
+        assert result.achieved_delay_ps == pytest.approx(bounds.tmin_ps, rel=1e-6)
+
+    def test_loose_constraint_returns_min_area(self, eleven_gate_path, lib):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        result = distribute_constraint(eleven_gate_path, lib, 2.0 * bounds.tmax_ps)
+        np.testing.assert_allclose(
+            result.sizes, eleven_gate_path.min_sizes(lib), rtol=1e-9
+        )
+        assert result.area_um == pytest.approx(bounds.area_tmax_um)
+
+    def test_area_grows_as_constraint_tightens(self, eleven_gate_path, lib):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        areas = []
+        for ratio in (2.2, 1.6, 1.3, 1.1):
+            result = distribute_constraint(
+                eleven_gate_path, lib, ratio * bounds.tmin_ps
+            )
+            assert result.feasible
+            areas.append(result.area_um)
+        assert all(b > a for a, b in zip(areas, areas[1:]))
+
+    def test_slack_property(self, eleven_gate_path, lib):
+        bounds = delay_bounds(eleven_gate_path, lib)
+        result = distribute_constraint(eleven_gate_path, lib, 1.5 * bounds.tmin_ps)
+        assert result.slack_ps == pytest.approx(
+            result.tc_ps - result.achieved_delay_ps
+        )
+        assert result.slack_ps >= -1e-6
+
+    def test_invalid_tc(self, eleven_gate_path, lib):
+        with pytest.raises(ValueError):
+            distribute_constraint(eleven_gate_path, lib, 0.0)
+
+    def test_frozen_requires_sizes(self, eleven_gate_path, lib):
+        frozen = np.zeros(len(eleven_gate_path), dtype=bool)
+        with pytest.raises(ValueError):
+            distribute_constraint(eleven_gate_path, lib, 1000.0, frozen=frozen)
+
+
+class TestOptimalityAgainstAlternatives:
+    def test_beats_random_feasible_sizings(self, lib, rng):
+        """Minimum-area claim: random sizings meeting Tc use more area."""
+        path = make_path(
+            [GateKind.INV, GateKind.NAND2, GateKind.INV, GateKind.NOR2, GateKind.INV],
+            lib,
+            cterm_ff=40.0 * lib.cref,
+        )
+        bounds = delay_bounds(path, lib)
+        tc = 1.25 * bounds.tmin_ps
+        ours = distribute_constraint(path, lib, tc)
+        assert ours.feasible
+        n = len(path)
+        found_feasible = 0
+        for _ in range(400):
+            raw = np.exp(rng.uniform(np.log(lib.cref), np.log(200 * lib.cref), n))
+            sizes = path.clamp_sizes(raw, lib)
+            if path_delay_ps(path, sizes, lib) <= tc:
+                found_feasible += 1
+                assert path_area_um(path, sizes, lib) >= ours.area_um * 0.999
+        assert found_feasible > 0  # the experiment actually exercised sizings
+
+    def test_area_weighting_never_worse_in_sumw(self, eleven_gate_path, lib):
+        """The KKT-exact weighting matches or beats uniform on sum W."""
+        bounds = delay_bounds(eleven_gate_path, lib)
+        tc = 1.3 * bounds.tmin_ps
+        uniform = distribute_constraint(eleven_gate_path, lib, tc, "uniform")
+        weighted = distribute_constraint(eleven_gate_path, lib, tc, "area")
+        assert uniform.feasible and weighted.feasible
+        assert weighted.area_um <= uniform.area_um * 1.02

@@ -1,0 +1,153 @@
+"""Tests for the polarity-aware STA engine."""
+
+import pytest
+
+from repro.cells.gate_types import GateKind
+from repro.netlist.builders import gate_chain, inverter_chain, ripple_carry_adder
+from repro.netlist.circuit import Circuit
+from repro.timing.delay_model import Edge
+from repro.timing.evaluation import path_delay_ps
+from repro.timing.path import make_path
+from repro.timing.sta import analyze, external_loads, gate_sizes, trace_critical_gates
+
+
+class TestLoads:
+    def test_fanout_loads_accumulate(self, lib):
+        c = Circuit("fan")
+        c.add_input("a")
+        c.add_gate("g", GateKind.INV, ["a"])
+        c.add_gate("x", GateKind.INV, ["g"])
+        c.add_gate("y", GateKind.NAND2, ["g", "a"])
+        c.add_output("x")
+        c.add_output("y")
+        sizes = gate_sizes(c, lib)
+        loads = external_loads(c, lib, output_load_ff=10.0, sizes=sizes)
+        assert loads["g"] == pytest.approx(sizes["x"] + sizes["y"])
+        assert loads["x"] == pytest.approx(10.0)
+
+    def test_explicit_sizes_used(self, lib):
+        c = inverter_chain(2)
+        c.gates["n1"].cin_ff = 50.0
+        sizes = gate_sizes(c, lib)
+        assert sizes["n1"] == 50.0
+        assert sizes["n0"] == pytest.approx(lib.inverter.cin_min(lib.tech))
+
+
+class TestChainAgreement:
+    def test_sta_matches_path_evaluation_on_chain(self, lib):
+        """On a pure chain, block STA == bounded path evaluation."""
+        kinds = [GateKind.INV, GateKind.NAND2, GateKind.INV, GateKind.NOR2]
+        circuit = gate_chain(kinds)
+        sta = analyze(circuit, lib, output_load_ff=4.0 * lib.cref)
+        sizes = gate_sizes(circuit, lib)
+        path = make_path(
+            kinds,
+            lib,
+            cin_first_ff=sizes["n0"],
+            cterm_ff=4.0 * lib.cref,
+            input_edge=Edge.RISE,
+        )
+        path_sizes = [sizes[f"n{i}"] for i in range(len(kinds))]
+        path_delay = path_delay_ps(path, path_sizes, lib)
+        net, edge = sta.critical_output
+        # STA takes the worst polarity; our path fixed RISE at the input.
+        assert sta.critical_delay_ps >= path_delay - 1e-6
+        # The rising-input arrival must be represented exactly.
+        rise_path = path_delay
+        arrivals = sta.arrivals[f"n{len(kinds) - 1}"]
+        assert any(
+            abs(ev.time_ps - rise_path) < 1e-6 for ev in arrivals.values()
+        )
+
+
+class TestPolarity:
+    def test_single_inverter_polarities(self, lib):
+        c = inverter_chain(1)
+        sta = analyze(c, lib)
+        arr = sta.arrivals["n0"]
+        assert set(arr) == {Edge.RISE, Edge.FALL}
+        # Falling output comes from rising input through vtn; rising from vtp.
+        assert arr[Edge.FALL].cause == ("in", Edge.RISE)
+        assert arr[Edge.RISE].cause == ("in", Edge.FALL)
+
+    def test_critical_trace_is_connected(self, lib):
+        adder = ripple_carry_adder(8)
+        sta = analyze(adder, lib)
+        chain = trace_critical_gates(sta, adder)
+        assert len(chain) >= 8
+        for upstream, downstream in zip(chain, chain[1:]):
+            assert upstream in adder.gates[downstream].fanin
+
+
+class TestMonotonicity:
+    def test_bigger_output_load_slower(self, lib):
+        adder = ripple_carry_adder(4)
+        light = analyze(adder, lib, output_load_ff=2.0 * lib.cref)
+        heavy = analyze(adder, lib, output_load_ff=40.0 * lib.cref)
+        assert heavy.critical_delay_ps > light.critical_delay_ps
+
+    def test_slower_inputs_slower_outputs(self, lib):
+        adder = ripple_carry_adder(4)
+        fast = analyze(adder, lib, input_transition_ps=0.0)
+        slow = analyze(adder, lib, input_transition_ps=200.0)
+        assert slow.critical_delay_ps > fast.critical_delay_ps
+
+    def test_upsizing_the_output_gate_helps(self, lib):
+        """Upsizing the last critical gate (whose load is the fixed output
+        register) speeds the circuit up -- no upstream path pays for it
+        beyond its own drive increase."""
+        adder = ripple_carry_adder(4)
+        before = analyze(adder, lib, output_load_ff=40.0 * lib.cref)
+        chain = trace_critical_gates(before, adder)
+        adder.gates[chain[-1]].cin_ff = 4.0 * lib.cref
+        after = analyze(adder, lib, output_load_ff=40.0 * lib.cref)
+        assert after.critical_delay_ps < before.critical_delay_ps
+
+    def test_upsizing_mid_gate_can_slow_adjacent_paths(self, lib):
+        """Section 1 of the paper: 'gate sizing ... may slow down adjacent
+        upward paths'.  Blowing up one mid-path gate loads its driver and
+        every sibling path through it."""
+        adder = ripple_carry_adder(4)
+        before = analyze(adder, lib)
+        chain = trace_critical_gates(before, adder)
+        mid = chain[len(chain) // 2]
+        adder.gates[mid].cin_ff = 60.0 * lib.cref
+        after = analyze(adder, lib)
+        assert after.critical_delay_ps > before.critical_delay_ps
+
+
+class TestWireLoads:
+    def test_wire_model_slows_circuit(self, lib):
+        from repro.netlist.wireload import WLM_MEDIUM
+
+        adder = ripple_carry_adder(4)
+        bare = analyze(adder, lib)
+        routed = analyze(adder, lib, wire_model=WLM_MEDIUM)
+        assert routed.critical_delay_ps > bare.critical_delay_ps
+
+    def test_heavier_class_slower(self, lib):
+        from repro.netlist.wireload import WLM_LARGE, WLM_SMALL
+
+        adder = ripple_carry_adder(4)
+        small = analyze(adder, lib, wire_model=WLM_SMALL)
+        large = analyze(adder, lib, wire_model=WLM_LARGE)
+        assert large.critical_delay_ps > small.critical_delay_ps
+
+    def test_model_validation(self):
+        from repro.netlist.wireload import WireLoadModel
+
+        with pytest.raises(ValueError):
+            WireLoadModel("bad", -1.0, 1.0)
+        model = WireLoadModel("ok", 1.0, 2.0)
+        assert model.wire_cap_ff(0) == 0.0
+        assert model.wire_cap_ff(3) == pytest.approx(7.0)
+        with pytest.raises(ValueError):
+            model.wire_cap_ff(-1)
+
+    def test_scaled_corner(self):
+        from repro.netlist.wireload import WLM_SMALL
+
+        pessimistic = WLM_SMALL.scaled(2.0)
+        assert pessimistic.wire_cap_ff(4) == pytest.approx(
+            2.0 * WLM_SMALL.wire_cap_ff(4)
+        )

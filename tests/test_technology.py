@@ -1,0 +1,80 @@
+"""Unit tests for the technology descriptors."""
+
+import pytest
+
+from repro.process.technology import CMOS013, CMOS018, CMOS025, Technology
+
+
+class TestTechnologyValidation:
+    def test_default_is_quarter_micron(self):
+        assert CMOS025.vdd == 2.5
+        assert CMOS025.name == "cmos025"
+
+    def test_reduced_thresholds(self):
+        assert CMOS025.vtn_reduced == pytest.approx(0.5 / 2.5)
+        assert CMOS025.vtp_reduced == pytest.approx(0.55 / 2.5)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("vdd", -1.0),
+            ("vdd", 0.0),
+            ("vtn", 0.0),
+            ("vtn", 3.0),
+            ("vtp", -0.1),
+            ("tau_ps", 0.0),
+            ("r_ratio", -2.0),
+            ("c_gate_ff_per_um", 0.0),
+            ("c_junction_ff_per_um", -0.5),
+            ("w_min_um", 0.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        kwargs = dict(
+            name="x",
+            vdd=2.5,
+            vtn=0.5,
+            vtp=0.5,
+            tau_ps=15.0,
+            r_ratio=2.0,
+            c_gate_ff_per_um=1.8,
+            c_junction_ff_per_um=1.0,
+            w_min_um=0.6,
+        )
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            Technology(**kwargs)
+
+    def test_scaled_override(self):
+        fast = CMOS025.scaled(tau_ps=10.0)
+        assert fast.tau_ps == 10.0
+        assert fast.vdd == CMOS025.vdd
+        # Original untouched (frozen dataclass).
+        assert CMOS025.tau_ps == 14.5
+
+
+class TestCapacitanceConversions:
+    def test_roundtrip(self):
+        width = 3.7
+        assert CMOS025.width_for_cin(CMOS025.cin_for_width(width)) == pytest.approx(
+            width
+        )
+
+    def test_cin_scales_linearly(self):
+        assert CMOS025.cin_for_width(2.0) == pytest.approx(
+            2.0 * CMOS025.cin_for_width(1.0)
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CMOS025.width_for_cin(-1.0)
+        with pytest.raises(ValueError):
+            CMOS025.cin_for_width(-1.0)
+
+
+class TestNodeOrdering:
+    def test_scaling_trend_across_nodes(self):
+        # Finer nodes: lower VDD, smaller tau, smaller minimum width.
+        assert CMOS025.vdd > CMOS018.vdd > CMOS013.vdd
+        assert CMOS025.tau_ps > CMOS018.tau_ps > CMOS013.tau_ps
+        assert CMOS025.w_min_um > CMOS018.w_min_um > CMOS013.w_min_um

@@ -1,0 +1,56 @@
+"""Tests for the circuit timing report."""
+
+import pytest
+
+from repro.netlist.builders import ripple_carry_adder
+from repro.timing.report import timing_report
+from repro.timing.sta import analyze
+
+
+@pytest.fixture(scope="module")
+def adder(lib):
+    return ripple_carry_adder(8)
+
+
+class TestTimingReport:
+    def test_endpoint_count(self, lib, adder):
+        report = timing_report(adder, lib, tc_ps=5000.0)
+        assert len(report.endpoints) == len(adder.outputs)
+
+    def test_slacks_consistent_with_sta(self, lib, adder):
+        sta = analyze(adder, lib)
+        report = timing_report(adder, lib, tc_ps=3000.0, sta=sta)
+        worst = report.endpoints[0]
+        assert worst.arrival_ps == pytest.approx(sta.critical_delay_ps)
+        assert worst.slack_ps == pytest.approx(3000.0 - sta.critical_delay_ps)
+
+    def test_violations_counted(self, lib, adder):
+        sta = analyze(adder, lib)
+        passing = timing_report(adder, lib, tc_ps=2.0 * sta.critical_delay_ps)
+        failing = timing_report(adder, lib, tc_ps=0.5 * sta.critical_delay_ps)
+        assert passing.violated == 0
+        assert failing.violated > 0
+        assert failing.worst_slack_ps < 0
+
+    def test_endpoints_sorted_worst_first(self, lib, adder):
+        report = timing_report(adder, lib, tc_ps=1000.0)
+        slacks = [e.slack_ps for e in report.endpoints]
+        assert slacks == sorted(slacks)
+
+    def test_worst_paths_included(self, lib, adder):
+        report = timing_report(adder, lib, tc_ps=1000.0, k_paths=2)
+        assert len(report.worst_paths) == 2
+        (gates, delay), _ = report.worst_paths
+        assert delay == pytest.approx(report.critical_delay_ps, rel=1e-9)
+        assert len(gates) > 5
+
+    def test_render_contains_key_lines(self, lib, adder):
+        report = timing_report(adder, lib, tc_ps=1000.0)
+        text = report.render()
+        assert "Timing report" in text
+        assert "worst slack" in text
+        assert "path #1" in text
+
+    def test_tc_validated(self, lib, adder):
+        with pytest.raises(ValueError):
+            timing_report(adder, lib, tc_ps=0.0)

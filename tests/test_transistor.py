@@ -1,0 +1,102 @@
+"""Unit tests for the alpha-power MOSFET model."""
+
+import math
+
+import pytest
+
+from repro.process.technology import CMOS025
+from repro.process.transistor import (
+    MosfetParams,
+    drain_current,
+    effective_resistance,
+    nmos_for,
+    pmos_for,
+    saturation_voltage,
+    unit_saturation_current,
+)
+
+
+@pytest.fixture(scope="module")
+def nmos():
+    return nmos_for(CMOS025)
+
+
+@pytest.fixture(scope="module")
+def pmos():
+    return pmos_for(CMOS025)
+
+
+class TestParamsValidation:
+    def test_bad_polarity(self):
+        with pytest.raises(ValueError):
+            MosfetParams(polarity="x", vt=0.5, beta_ma_per_um=0.1, alpha=1.3)
+
+    def test_bad_vt(self):
+        with pytest.raises(ValueError):
+            MosfetParams(polarity="n", vt=-0.5, beta_ma_per_um=0.1, alpha=1.3)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            MosfetParams(polarity="n", vt=0.5, beta_ma_per_um=0.1, alpha=0.5)
+
+
+class TestDrainCurrent:
+    def test_cutoff_below_threshold(self, nmos):
+        assert drain_current(nmos, 1.0, nmos.vt - 0.01, 2.5) == 0.0
+        assert drain_current(nmos, 1.0, 0.0, 2.5) == 0.0
+
+    def test_zero_width_zero_current(self, nmos):
+        assert drain_current(nmos, 0.0, 2.5, 2.5) == 0.0
+
+    def test_negative_width_rejected(self, nmos):
+        with pytest.raises(ValueError):
+            drain_current(nmos, -1.0, 2.5, 2.5)
+
+    def test_linear_in_width(self, nmos):
+        i1 = drain_current(nmos, 1.0, 2.5, 2.5)
+        i3 = drain_current(nmos, 3.0, 2.5, 2.5)
+        assert i3 == pytest.approx(3.0 * i1)
+
+    def test_monotone_in_vgs(self, nmos):
+        currents = [drain_current(nmos, 1.0, vgs, 2.5) for vgs in (0.8, 1.2, 1.8, 2.5)]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_monotone_in_vds_up_to_saturation(self, nmos):
+        vgst = 2.5 - nmos.vt
+        vd0 = saturation_voltage(nmos, vgst)
+        below = [drain_current(nmos, 1.0, 2.5, v) for v in (0.1 * vd0, 0.5 * vd0, vd0)]
+        assert below[0] < below[1] < below[2]
+
+    def test_flat_in_saturation(self, nmos):
+        vgst = 2.5 - nmos.vt
+        vd0 = saturation_voltage(nmos, vgst)
+        i_at_vd0 = drain_current(nmos, 1.0, 2.5, vd0)
+        i_deep = drain_current(nmos, 1.0, 2.5, 2.5)
+        assert i_deep == pytest.approx(i_at_vd0, rel=1e-12)
+
+    def test_triode_continuity_at_vd0(self, nmos):
+        vgst = 2.5 - nmos.vt
+        vd0 = saturation_voltage(nmos, vgst)
+        just_below = drain_current(nmos, 1.0, 2.5, vd0 * (1 - 1e-9))
+        just_above = drain_current(nmos, 1.0, 2.5, vd0 * (1 + 1e-9))
+        assert just_below == pytest.approx(just_above, rel=1e-6)
+
+
+class TestDerivedDevices:
+    def test_r_ratio_honoured(self, nmos, pmos):
+        i_n = unit_saturation_current(nmos, CMOS025.vdd)
+        i_p = unit_saturation_current(pmos, CMOS025.vdd)
+        assert i_n / i_p == pytest.approx(CMOS025.r_ratio, rel=1e-6)
+
+    def test_polarities(self, nmos, pmos):
+        assert nmos.polarity == "n"
+        assert pmos.polarity == "p"
+
+    def test_effective_resistance_scales_inverse_width(self, nmos):
+        r1 = effective_resistance(nmos, 1.0, CMOS025.vdd)
+        r4 = effective_resistance(nmos, 4.0, CMOS025.vdd)
+        assert r1 == pytest.approx(4.0 * r4, rel=1e-9)
+
+    def test_effective_resistance_positive_finite(self, nmos):
+        r = effective_resistance(nmos, 2.0, CMOS025.vdd)
+        assert 0 < r < math.inf

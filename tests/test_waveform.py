@@ -1,0 +1,86 @@
+"""Tests for waveform measurement utilities."""
+
+import numpy as np
+import pytest
+
+from repro.spice.waveform import (
+    MeasurementError,
+    crossing_time,
+    delay_50,
+    ramp_input,
+    transition_time,
+)
+
+
+@pytest.fixture()
+def times():
+    return np.linspace(0.0, 100.0, 1001)
+
+
+class TestCrossing:
+    def test_linear_ramp_crossing(self, times):
+        volts = times / 100.0 * 2.5  # 0 -> 2.5 V over 100 ps
+        t = crossing_time(times, volts, 1.25, rising=True)
+        assert t == pytest.approx(50.0, abs=0.01)
+
+    def test_falling_crossing(self, times):
+        volts = 2.5 - times / 100.0 * 2.5
+        t = crossing_time(times, volts, 1.25, rising=False)
+        assert t == pytest.approx(50.0, abs=0.01)
+
+    def test_after_window(self, times):
+        # Two rising crossings; skip the first.
+        volts = np.where(times < 50.0, times / 10.0, (times - 50.0) / 10.0)
+        first = crossing_time(times, volts, 2.0, rising=True)
+        second = crossing_time(times, volts, 2.0, rising=True, after_ps=50.0)
+        assert first < 50.0 < second
+
+    def test_missing_crossing_raises(self, times):
+        volts = np.zeros_like(times)
+        with pytest.raises(MeasurementError):
+            crossing_time(times, volts, 1.0, rising=True)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            crossing_time([0, 1], [0.0], 0.5, True)
+
+
+class TestDelayAndTransition:
+    def test_delay_between_shifted_ramps(self, times):
+        vdd = 2.5
+        v_in = ramp_input(times, vdd, True, 10.0, 20.0)
+        v_out = vdd - ramp_input(times, vdd, True, 30.0, 20.0)
+        d = delay_50(times, v_in, v_out, vdd, True, False)
+        assert d == pytest.approx(20.0, abs=0.2)
+
+    def test_transition_time_of_ramp(self, times):
+        vdd = 2.5
+        wave = ramp_input(times, vdd, True, 10.0, 40.0)
+        # A linear ramp's 20-80 extrapolation recovers the full ramp time.
+        assert transition_time(times, wave, vdd, rising=True) == pytest.approx(
+            40.0, rel=0.02
+        )
+
+    def test_falling_transition(self, times):
+        vdd = 2.5
+        wave = ramp_input(times, vdd, False, 10.0, 30.0)
+        assert transition_time(times, wave, vdd, rising=False) == pytest.approx(
+            30.0, rel=0.02
+        )
+
+
+class TestRampInput:
+    def test_step(self, times):
+        wave = ramp_input(times, 2.5, True, 50.0, 0.0)
+        assert wave[0] == 0.0
+        assert wave[-1] == 2.5
+        assert set(np.unique(wave)) == {0.0, 2.5}
+
+    def test_falling_ramp(self, times):
+        wave = ramp_input(times, 2.5, False, 0.0, 50.0)
+        assert wave[0] == pytest.approx(2.5)
+        assert wave[-1] == pytest.approx(0.0)
+
+    def test_negative_transition_rejected(self, times):
+        with pytest.raises(ValueError):
+            ramp_input(times, 2.5, True, 0.0, -1.0)
