@@ -1,67 +1,71 @@
-"""Quickstart: size a combinational path at minimum area under a delay goal.
+"""Quickstart: the Session / Job facade in sixty seconds.
 
-The 60-second tour of the library:
+The canonical entry point is :class:`repro.Session`:
 
-1. build the default 0.25 um characterised library;
-2. describe a bounded path (fixed input drive, fixed terminal load);
-3. compute its delay window [Tmin, Tmax] (eq. 4 of the paper);
-4. distribute a delay constraint with the constant sensitivity method;
-5. inspect the resulting sizes, area and slack.
+1. open a session (it owns the characterised 0.25 um library and caches
+   every expensive artefact -- Flimit table, benchmarks, STA, bounds);
+2. declare a :class:`repro.Job`: which circuit, how hard a constraint;
+3. ``session.bounds(job)`` gives the critical path's [Tmin, Tmax] window;
+4. ``session.optimize(job)`` runs the paper's Fig. 7 protocol;
+5. every result is a ``RunRecord`` -- inspect it live or archive it as
+   lossless JSON.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.cells import GateKind, default_library
-from repro.sizing import delay_bounds, distribute_constraint
-from repro.timing import make_path
+import json
+
+from repro import Job, Session
 
 
 def main() -> None:
-    library = default_library()
+    session = Session()
+    library = session.library
     print(f"process          : {library.tech.name} (VDD {library.tech.vdd} V)")
     print(f"minimum drive    : CREF = {library.cref:.2f} fF")
 
-    # An 8-gate path driving a register bank (40 reference inverters).
-    path = make_path(
-        [
-            GateKind.INV,
-            GateKind.NAND2,
-            GateKind.INV,
-            GateKind.NOR2,
-            GateKind.INV,
-            GateKind.NAND3,
-            GateKind.INV,
-            GateKind.INV,
-        ],
-        library,
-        cterm_ff=40.0 * library.cref,
-    )
+    # One declarative job: the 'fpd' benchmark, constrained to 1.3 x Tmin.
+    job = Job(benchmark="fpd", tc_ratio=1.3)
 
-    bounds = delay_bounds(path, library)
-    print(f"\npath             : {' -> '.join(k.value for k in path.kinds)}")
+    window = session.bounds(job)
+    bounds = window.payload["bounds"]
+    print(f"\nbenchmark        : {job.name} "
+          f"({window.extra['path_gates']} gates on the critical path)")
     print(f"Tmax (min area)  : {bounds.tmax_ps:7.1f} ps   "
           f"(sum W = {bounds.area_tmax_um:.1f} um)")
     print(f"Tmin             : {bounds.tmin_ps:7.1f} ps   "
           f"(sum W = {bounds.area_tmin_um:.1f} um)")
 
-    # A constraint 30% above the floor: feasible, met at minimum area.
-    tc = 1.3 * bounds.tmin_ps
-    result = distribute_constraint(path, library, tc)
+    # The protocol picks the cheapest adequate technique for the job.
+    record = session.optimize(job)
+    outcome = record.payload
+    tc = record.extra["tc_ps"]
     print(f"\nconstraint Tc    : {tc:7.1f} ps  (1.30 x Tmin)")
-    print(f"achieved delay   : {result.achieved_delay_ps:7.1f} ps  "
-          f"(slack {result.slack_ps:+.1f} ps)")
-    print(f"area             : {result.area_um:7.1f} um  "
+    print(f"domain           : {outcome.domain.domain}")
+    print(f"method           : {outcome.method}")
+    print(f"achieved delay   : {outcome.delay_ps:7.1f} ps  "
+          f"(slack {outcome.slack_ps:+.1f} ps)")
+    print(f"area             : {outcome.area_um:7.1f} um  "
           f"(vs {bounds.area_tmin_um:.1f} um at full speed)")
-    print(f"sensitivity a    : {result.a:7.3f} ps/fF")
-    print("\nper-gate input capacitances (fF):")
-    for stage, cin in zip(path.stages, result.sizes):
-        print(f"  {stage.cell.name:<6} {cin:8.2f}")
 
-    # An impossible constraint: the feasibility check says so up front,
+    # A second job on the same benchmark hits every session cache: the
+    # Flimit table, the extraction and the eq. 4 bounds are all reused.
+    relaxed = session.optimize(job.with_constraint(tc_ratio=3.0))
+    print(f"\nrelaxed Tc       : {relaxed.extra['tc_ps']:7.1f} ps "
+          f"-> method {relaxed.payload.method!r}, "
+          f"area {relaxed.payload.area_um:.1f} um")
+    print(f"cache stats      : {session.stats.as_dict()}")
+
+    # An impossible constraint: the delay window says so up front,
     # instead of letting an iterative sizer loop forever (section 3.1).
-    impossible = distribute_constraint(path, library, 0.8 * bounds.tmin_ps)
-    print(f"\nTc = 0.8 x Tmin  : feasible = {impossible.feasible} "
+    print(f"\nTc = 0.8 x Tmin  : sizing feasible = "
+          f"{bounds.feasible(0.8 * bounds.tmin_ps)} "
           "(structure modification required -- see the protocol example)")
+
+    # Every record serializes losslessly -- the archival / transport form.
+    envelope = json.loads(record.to_json())
+    print(f"\nrecord envelope  : kind={envelope['kind']!r}, "
+          f"keys={sorted(envelope)}")
 
 
 if __name__ == "__main__":

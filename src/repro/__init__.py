@@ -3,8 +3,17 @@
 Reproduction of A. Verle, X. Michel, N. Azemard, P. Maurine, D. Auvergne,
 "Low Power Oriented CMOS Circuit Optimization Protocol", DATE 2005.
 
-Public entry points (see README for a tour):
+The canonical programmatic surface is the :mod:`repro.api` facade,
+re-exported here::
 
+    from repro import Job, Session
+
+    session = Session()
+    record = session.optimize(Job(benchmark="c432", tc_ratio=1.5))
+
+Domain layers (see README for a tour):
+
+* :mod:`repro.api`            -- Session / Job / RunRecord facade
 * :mod:`repro.process`        -- technology descriptors, device models
 * :mod:`repro.cells`          -- characterised standard-cell library
 * :mod:`repro.netlist`        -- circuit DAGs, ISCAS ``.bench`` I/O
@@ -19,6 +28,23 @@ Public entry points (see README for a tour):
 * :mod:`repro.analysis`       -- area / power / activity analysis
 """
 
-__version__ = "1.0.0"
+from repro.api import Job, JobError, RunRecord, Session, SessionStats
+from repro.cells.library import Library, default_library
+from repro.iscas.loader import benchmark_names, load_benchmark
+from repro.netlist.circuit import Circuit
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "Job",
+    "JobError",
+    "RunRecord",
+    "Session",
+    "SessionStats",
+    "Library",
+    "default_library",
+    "Circuit",
+    "benchmark_names",
+    "load_benchmark",
+]

@@ -1,0 +1,159 @@
+"""The :class:`Job` specification: one optimization request, fully declared.
+
+A job names *what* to optimize (a registered benchmark or an inline
+:class:`~repro.netlist.circuit.Circuit`), *how hard* (an absolute ``tc_ps``
+constraint or a ``tc_ratio`` multiple of the path's ``Tmin``) and *which
+protocol knobs* to use.  Jobs are frozen and validated on construction, so a
+malformed campaign fails before any characterisation work starts, and a job
+can be serialized, hashed into cache keys, shipped to a worker process and
+echoed verbatim inside the :class:`~repro.api.records.RunRecord` it produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional
+
+from repro.netlist.circuit import Circuit
+
+#: Protocol scopes a job may request.
+SCOPES = ("path", "circuit")
+
+#: Sizing weight modes understood by the constraint distributor.
+WEIGHT_MODES = ("uniform", "area")
+
+
+class JobError(ValueError):
+    """An invalid :class:`Job` specification."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """A declarative optimization request.
+
+    Attributes
+    ----------
+    benchmark / circuit:
+        Exactly one must be given: a registered benchmark name (see
+        ``repro.iscas.benchmark_names``) or an inline netlist.
+    bench_dir:
+        Optional directory of real ``.bench`` files overriding the
+        synthetic stand-ins (benchmark jobs only).
+    tc_ps / tc_ratio:
+        The delay constraint, absolute (ps) or as a multiple of the
+        critical path's ``Tmin``.  At most one; optimization requires one
+        (``bounds`` / ``power`` jobs need neither).
+    scope:
+        ``"path"`` runs the Fig. 7 protocol on the critical path;
+        ``"circuit"`` runs the circuit-level driver over the ``k_paths``
+        most critical paths with netlist write-back.
+    k_paths / max_passes:
+        Circuit-scope driver parameters.
+    weight_mode:
+        ``"uniform"`` (the paper's eq. 6) or ``"area"`` (KKT-exact
+        minimum-``sum W`` weights).
+    allow_restructuring:
+        Whether the protocol may fall back to De Morgan rewriting for
+        infeasible constraints (path scope).
+    frequency_mhz / activity_vectors:
+        Power-job parameters (clock and Monte-Carlo vector count).
+    label:
+        Free-form tag echoed into the run record (campaign bookkeeping).
+    """
+
+    #: Inline circuits compare (and hash) by object identity -- two jobs
+    #: wrapping different Circuit instances are distinct even when the
+    #: netlists are structurally equal.
+    benchmark: Optional[str] = None
+    circuit: Optional[Circuit] = None
+    bench_dir: Optional[str] = None
+    tc_ps: Optional[float] = None
+    tc_ratio: Optional[float] = None
+    scope: str = "path"
+    k_paths: int = 4
+    max_passes: int = 6
+    weight_mode: str = "uniform"
+    allow_restructuring: bool = True
+    frequency_mhz: float = 100.0
+    activity_vectors: int = 128
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.benchmark is None) == (self.circuit is None):
+            raise JobError("exactly one of 'benchmark' or 'circuit' is required")
+        if self.benchmark is not None and not isinstance(self.benchmark, str):
+            raise JobError(f"benchmark must be a string, got {self.benchmark!r}")
+        if self.circuit is not None and not isinstance(self.circuit, Circuit):
+            raise JobError(f"circuit must be a Circuit, got {type(self.circuit)}")
+        if self.circuit is not None and self.bench_dir is not None:
+            raise JobError("bench_dir applies only to benchmark jobs")
+        if self.tc_ps is not None and self.tc_ratio is not None:
+            raise JobError("give at most one of 'tc_ps' and 'tc_ratio'")
+        if self.tc_ps is not None and self.tc_ps <= 0:
+            raise JobError(f"tc_ps must be positive, got {self.tc_ps}")
+        if self.tc_ratio is not None and self.tc_ratio <= 0:
+            raise JobError(f"tc_ratio must be positive, got {self.tc_ratio}")
+        if self.scope not in SCOPES:
+            raise JobError(f"scope must be one of {SCOPES}, got {self.scope!r}")
+        if self.k_paths < 1:
+            raise JobError(f"k_paths must be >= 1, got {self.k_paths}")
+        if self.max_passes < 1:
+            raise JobError(f"max_passes must be >= 1, got {self.max_passes}")
+        if self.weight_mode not in WEIGHT_MODES:
+            raise JobError(
+                f"weight_mode must be one of {WEIGHT_MODES}, got {self.weight_mode!r}"
+            )
+        if self.frequency_mhz <= 0:
+            raise JobError(f"frequency_mhz must be positive, got {self.frequency_mhz}")
+        if self.activity_vectors < 2:
+            raise JobError(
+                f"activity_vectors must be >= 2, got {self.activity_vectors}"
+            )
+
+    # -- derived -------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Human-readable identity (label, benchmark name or circuit name)."""
+        if self.label:
+            return self.label
+        if self.benchmark is not None:
+            return self.benchmark
+        return self.circuit.name  # type: ignore[union-attr]
+
+    @property
+    def has_constraint(self) -> bool:
+        """Whether the job pins a delay constraint."""
+        return self.tc_ps is not None or self.tc_ratio is not None
+
+    def with_constraint(
+        self, tc_ps: Optional[float] = None, tc_ratio: Optional[float] = None
+    ) -> "Job":
+        """A copy with the delay constraint replaced (sweep ergonomics)."""
+        if (tc_ps is None) == (tc_ratio is None):
+            raise JobError("give exactly one of 'tc_ps' and 'tc_ratio'")
+        return replace(self, tc_ps=tc_ps, tc_ratio=tc_ratio)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (inline circuits are expanded)."""
+        from repro.api.serialization import circuit_to_dict
+
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        if self.circuit is not None:
+            data["circuit"] = circuit_to_dict(self.circuit)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Job":
+        """Rebuild a job from :meth:`to_dict` output."""
+        from repro.api.serialization import circuit_from_dict
+
+        payload = dict(data)
+        unknown = set(payload) - {f.name for f in fields(cls)}
+        if unknown:
+            raise JobError(f"unknown job fields: {sorted(unknown)}")
+        if payload.get("circuit") is not None:
+            payload["circuit"] = circuit_from_dict(payload["circuit"])
+        return cls(**payload)

@@ -1,0 +1,176 @@
+"""The :class:`RunRecord` envelope every Session operation returns.
+
+A record bundles the job echo, the typed result payload and timing
+metadata into one object with a lossless JSON representation.  Payload
+serialization is deterministic -- two identical runs (same job, same
+library) produce byte-identical ``to_dict(with_timing=False)`` output --
+which is what lets the parallel batch runner hand results across process
+boundaries and still match the serial path exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.api.job import Job
+from repro.api.serialization import (
+    bounds_from_dict,
+    bounds_to_dict,
+    circuit_result_from_dict,
+    circuit_result_to_dict,
+    flimit_entries_from_list,
+    flimit_entries_to_list,
+    path_from_dict,
+    path_to_dict,
+    power_from_dict,
+    power_to_dict,
+    protocol_result_from_dict,
+    protocol_result_to_dict,
+)
+from repro.cells.library import Library, default_library
+
+#: Record kinds and their payload schema.
+KIND_OPTIMIZE_PATH = "optimize-path"
+KIND_OPTIMIZE_CIRCUIT = "optimize-circuit"
+KIND_BOUNDS = "bounds"
+KIND_POWER = "power"
+KIND_CHARACTERIZE = "characterize"
+
+KINDS = (
+    KIND_OPTIMIZE_PATH,
+    KIND_OPTIMIZE_CIRCUIT,
+    KIND_BOUNDS,
+    KIND_POWER,
+    KIND_CHARACTERIZE,
+)
+
+
+class RecordError(ValueError):
+    """A malformed serialized run record."""
+
+
+@dataclass
+class RunRecord:
+    """One completed Session operation.
+
+    Attributes
+    ----------
+    kind:
+        Payload discriminator, one of :data:`KINDS`.
+    job:
+        The job specification that produced this record (``None`` for
+        job-less operations such as library characterisation).
+    payload:
+        The typed result object (``ProtocolResult``,
+        ``CircuitOptimizationResult``, ``DelayBounds`` wrapper, ...).
+    extra:
+        Small derived scalars worth keeping next to the payload (resolved
+        ``tc_ps``, extraction delay, area...), JSON-native values only.
+    elapsed_s:
+        Wall-clock duration of the operation.
+    created_unix:
+        POSIX timestamp of record creation.
+    """
+
+    kind: str
+    job: Optional[Job]
+    payload: Any
+    extra: Dict[str, Any] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    created_unix: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise RecordError(f"unknown record kind {self.kind!r}")
+
+    # -- serialization -------------------------------------------------
+
+    def _payload_to_dict(self) -> Any:
+        if self.kind == KIND_OPTIMIZE_PATH:
+            return protocol_result_to_dict(self.payload)
+        if self.kind == KIND_OPTIMIZE_CIRCUIT:
+            return circuit_result_to_dict(self.payload)
+        if self.kind == KIND_BOUNDS:
+            return {
+                "gate_names": list(self.payload["gate_names"]),
+                "path": path_to_dict(self.payload["path"]),
+                "bounds": bounds_to_dict(self.payload["bounds"]),
+            }
+        if self.kind == KIND_POWER:
+            return power_to_dict(self.payload)
+        return flimit_entries_to_list(self.payload)
+
+    def to_dict(self, with_timing: bool = True) -> Dict[str, Any]:
+        """JSON-compatible representation.
+
+        ``with_timing=False`` drops the (non-deterministic) wall-clock
+        metadata, leaving only content that is byte-stable across
+        re-runs -- the form batch-parity checks compare.
+        """
+        data: Dict[str, Any] = {
+            "kind": self.kind,
+            "job": None if self.job is None else self.job.to_dict(),
+            "payload": self._payload_to_dict(),
+            "extra": dict(self.extra),
+        }
+        if with_timing:
+            data["timing"] = {
+                "elapsed_s": float(self.elapsed_s),
+                "created_unix": float(self.created_unix),
+            }
+        return data
+
+    def to_json(self, with_timing: bool = True, indent: Optional[int] = None) -> str:
+        """The record as a JSON string."""
+        return json.dumps(
+            self.to_dict(with_timing=with_timing), indent=indent, sort_keys=True
+        )
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, Any], library: Optional[Library] = None
+    ) -> "RunRecord":
+        """Rebuild a record; paths/results re-bind to ``library``.
+
+        The library must characterise the same cells the run used (the
+        deterministic default library when omitted).
+        """
+        if library is None:
+            library = default_library()
+        kind = data.get("kind")
+        if kind not in KINDS:
+            raise RecordError(f"unknown record kind {kind!r}")
+        raw_payload = data["payload"]
+        payload: Any
+        if kind == KIND_OPTIMIZE_PATH:
+            payload = protocol_result_from_dict(raw_payload, library)
+        elif kind == KIND_OPTIMIZE_CIRCUIT:
+            payload = circuit_result_from_dict(raw_payload, library)
+        elif kind == KIND_BOUNDS:
+            payload = {
+                "gate_names": tuple(raw_payload["gate_names"]),
+                "path": path_from_dict(raw_payload["path"], library),
+                "bounds": bounds_from_dict(raw_payload["bounds"]),
+            }
+        elif kind == KIND_POWER:
+            payload = power_from_dict(raw_payload)
+        else:
+            payload = flimit_entries_from_list(raw_payload)
+        timing = data.get("timing") or {}
+        return cls(
+            kind=kind,
+            job=None if data.get("job") is None else Job.from_dict(data["job"]),
+            payload=payload,
+            extra=dict(data.get("extra") or {}),
+            elapsed_s=timing.get("elapsed_s", 0.0),
+            created_unix=timing.get("created_unix", 0.0),
+        )
+
+    @classmethod
+    def from_json(
+        cls, text: str, library: Optional[Library] = None
+    ) -> "RunRecord":
+        """Rebuild a record from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text), library=library)

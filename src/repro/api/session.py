@@ -1,0 +1,422 @@
+"""The :class:`Session` facade: one object, the whole protocol, cached.
+
+A session owns a characterised :class:`~repro.cells.library.Library` and
+memoizes every expensive derived artefact around it:
+
+* the **Flimit table** (library characterisation, Fig. 7 step 1) is
+  computed at most once per session and shared by every optimization;
+* **benchmarks** are parsed/generated once and handed out as copies;
+* **STA results, critical-path extractions and delay bounds** are keyed
+  by a circuit *state hash* (structure + sizing), so a Tc-sweep over one
+  benchmark pays extraction and the eq. 4 fixed point once, not per job.
+
+Operations take a declarative :class:`~repro.api.job.Job` and return a
+:class:`~repro.api.records.RunRecord` -- a serializable envelope that the
+CLI renders, campaigns archive, and the batch runner ships across process
+boundaries.  :meth:`Session.optimize_many` is the scale-out surface: a
+``concurrent.futures`` process pool with a transparent serial fallback,
+guaranteed to produce payloads byte-identical to the serial loop.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.activity import estimate_activity
+from repro.analysis.area import circuit_area_um
+from repro.analysis.power import estimate_power
+from repro.api.job import Job, JobError
+from repro.api.records import (
+    KIND_BOUNDS,
+    KIND_CHARACTERIZE,
+    KIND_OPTIMIZE_CIRCUIT,
+    KIND_OPTIMIZE_PATH,
+    KIND_POWER,
+    RunRecord,
+)
+from repro.buffering.flimit import TABLE2_GATES, characterize_library
+from repro.buffering.insertion import default_flimits
+from repro.cells.library import Library, default_library
+from repro.iscas.loader import load_benchmark
+from repro.netlist.circuit import Circuit
+from repro.process.technology import Technology
+from repro.protocol.optimizer import optimize_circuit, optimize_path
+from repro.sizing.bounds import DelayBounds, delay_bounds
+from repro.timing.critical_paths import ExtractedPath, critical_path
+from repro.timing.sta import StaResult, analyze
+
+#: Circuit state key: structure plus sizing, hashable.
+StateKey = Tuple
+
+
+@dataclass
+class SessionStats:
+    """Cache behaviour counters (observability for the scale-out story)."""
+
+    characterizations: int = 0
+    benchmark_hits: int = 0
+    benchmark_misses: int = 0
+    sta_hits: int = 0
+    sta_misses: int = 0
+    path_hits: int = 0
+    path_misses: int = 0
+    bounds_hits: int = 0
+    bounds_misses: int = 0
+    jobs_run: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for logging."""
+        return dict(self.__dict__)
+
+
+def circuit_state_key(circuit: Circuit) -> StateKey:
+    """A hashable fingerprint of a circuit's structure *and* sizing.
+
+    Any mutation that can change timing -- topology, gate kinds, fan-in
+    order, per-gate sizes -- changes the key, so memoized STA/extraction
+    results can never go stale.
+    """
+    return (
+        circuit.name,
+        tuple(circuit.inputs),
+        tuple(circuit.outputs),
+        tuple(
+            (gate.name, gate.kind.value, gate.fanin, gate.cin_ff)
+            for gate in circuit.gates.values()
+        ),
+    )
+
+
+class Session:
+    """Cached programmatic entry point to the whole POPS protocol.
+
+    Parameters
+    ----------
+    library:
+        A pre-built characterised library; mutually exclusive with
+        ``tech``.
+    tech:
+        Technology to build the default library for (0.25 um if omitted).
+    bench_dir:
+        Default directory of real ``.bench`` netlists for benchmark jobs
+        that do not set their own.
+    """
+
+    def __init__(
+        self,
+        library: Optional[Library] = None,
+        tech: Optional[Technology] = None,
+        bench_dir: Optional[str] = None,
+    ) -> None:
+        if library is not None and tech is not None:
+            raise ValueError("give at most one of 'library' and 'tech'")
+        self._library = library if library is not None else default_library(tech)
+        self.bench_dir = bench_dir
+        self.stats = SessionStats()
+        self._flimits: Optional[Dict] = None
+        self._benchmarks: Dict[Tuple[str, Optional[str]], Circuit] = {}
+        self._sta_cache: Dict[StateKey, StaResult] = {}
+        self._path_cache: Dict[StateKey, ExtractedPath] = {}
+        self._bounds_cache: Dict[StateKey, DelayBounds] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(tech={self._library.tech.name!r}, "
+            f"jobs_run={self.stats.jobs_run})"
+        )
+
+    # -- cached primitives ---------------------------------------------
+
+    @property
+    def library(self) -> Library:
+        """The session's characterised library."""
+        return self._library
+
+    def flimits(self) -> Dict:
+        """The ``(driver, gate) -> Flimit`` table, characterised once.
+
+        ``stats.characterizations`` counts *actual* characterisations:
+        it stays at zero when the insertion-layer cache already holds the
+        table for this library instance (e.g. a sibling session built it).
+        """
+        if self._flimits is None:
+            from repro.buffering.insertion import _FLIMIT_CACHE
+
+            entry = _FLIMIT_CACHE.get(id(self._library))
+            if entry is None or entry[0]() is not self._library:
+                self.stats.characterizations += 1
+            self._flimits = default_flimits(self._library)
+        return self._flimits
+
+    def benchmark(self, name: str, bench_dir: Optional[str] = None) -> Circuit:
+        """A fresh copy of a registered benchmark, parsed/generated once."""
+        directory = bench_dir if bench_dir is not None else self.bench_dir
+        key = (name, directory)
+        master = self._benchmarks.get(key)
+        if master is None:
+            self.stats.benchmark_misses += 1
+            master = load_benchmark(name, bench_dir=directory)
+            self._benchmarks[key] = master
+        else:
+            self.stats.benchmark_hits += 1
+        return master.copy()
+
+    def sta(self, circuit: Circuit) -> StaResult:
+        """Static timing analysis, memoized on the circuit state hash."""
+        key = circuit_state_key(circuit)
+        cached = self._sta_cache.get(key)
+        if cached is not None:
+            self.stats.sta_hits += 1
+            return cached
+        self.stats.sta_misses += 1
+        result = analyze(circuit, self._library)
+        self._sta_cache[key] = result
+        return result
+
+    def critical_path(self, circuit: Circuit) -> ExtractedPath:
+        """Critical-path extraction, memoized on the circuit state hash."""
+        key = circuit_state_key(circuit)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            self.stats.path_hits += 1
+            return cached
+        self.stats.path_misses += 1
+        extracted = critical_path(circuit, self._library)
+        self._path_cache[key] = extracted
+        return extracted
+
+    def path_bounds(self, circuit: Circuit) -> DelayBounds:
+        """Critical-path ``(Tmin, Tmax)`` window, memoized per state."""
+        key = circuit_state_key(circuit)
+        cached = self._bounds_cache.get(key)
+        if cached is not None:
+            self.stats.bounds_hits += 1
+            return cached
+        self.stats.bounds_misses += 1
+        extracted = self.critical_path(circuit)
+        bounds = delay_bounds(extracted.path, self._library)
+        self._bounds_cache[key] = bounds
+        return bounds
+
+    def clear_caches(self) -> None:
+        """Drop every memoized artefact (the Flimit table included)."""
+        self._flimits = None
+        self._benchmarks.clear()
+        self._sta_cache.clear()
+        self._path_cache.clear()
+        self._bounds_cache.clear()
+
+    # -- job plumbing --------------------------------------------------
+
+    def resolve_circuit(self, job: Job) -> Circuit:
+        """The working netlist a job refers to."""
+        if job.circuit is not None:
+            return job.circuit
+        return self.benchmark(job.benchmark, bench_dir=job.bench_dir)
+
+    def resolve_tc(self, job: Job, tmin_ps: float) -> float:
+        """The absolute delay constraint (ps) a job requests."""
+        if job.tc_ps is not None:
+            return job.tc_ps
+        if job.tc_ratio is not None:
+            return job.tc_ratio * tmin_ps
+        raise JobError(
+            f"job {job.name!r} needs a constraint: set tc_ps or tc_ratio"
+        )
+
+    # -- operations ----------------------------------------------------
+
+    def characterize(self, with_simulation: bool = False) -> RunRecord:
+        """Full Table 2 characterisation as a run record."""
+        started = time.perf_counter()
+        self.stats.characterizations += 1
+        entries = characterize_library(
+            self._library, gates=TABLE2_GATES, with_simulation=with_simulation
+        )
+        return RunRecord(
+            kind=KIND_CHARACTERIZE,
+            job=None,
+            payload=entries,
+            extra={"with_simulation": bool(with_simulation)},
+            elapsed_s=time.perf_counter() - started,
+            created_unix=time.time(),
+        )
+
+    def bounds(self, job: Job) -> RunRecord:
+        """Critical-path delay window of the job's circuit."""
+        started = time.perf_counter()
+        self.stats.jobs_run += 1
+        circuit = self.resolve_circuit(job)
+        extracted = self.critical_path(circuit)
+        bounds = self.path_bounds(circuit)
+        return RunRecord(
+            kind=KIND_BOUNDS,
+            job=job,
+            payload={
+                "gate_names": extracted.gate_names,
+                "path": extracted.path,
+                "bounds": bounds,
+            },
+            extra={
+                "extraction_delay_ps": float(extracted.delay_ps),
+                "path_gates": len(extracted.gate_names),
+            },
+            elapsed_s=time.perf_counter() - started,
+            created_unix=time.time(),
+        )
+
+    def optimize(self, job: Job) -> RunRecord:
+        """Run the Fig. 7 protocol for one job (path or circuit scope)."""
+        started = time.perf_counter()
+        self.stats.jobs_run += 1
+        circuit = self.resolve_circuit(job)
+        bounds = self.path_bounds(circuit)
+        tc_ps = self.resolve_tc(job, bounds.tmin_ps)
+        limits = self.flimits()
+
+        if job.scope == "path":
+            extracted = self.critical_path(circuit)
+            outcome = optimize_path(
+                extracted.path,
+                self._library,
+                tc_ps,
+                limits=limits,
+                allow_restructuring=job.allow_restructuring,
+                weight_mode=job.weight_mode,
+                tmin_ps=bounds.tmin_ps,
+            )
+            kind = KIND_OPTIMIZE_PATH
+            extra = {
+                "tc_ps": float(tc_ps),
+                "tmin_ps": float(bounds.tmin_ps),
+                "tmax_ps": float(bounds.tmax_ps),
+                "path_gates": len(extracted.gate_names),
+            }
+        else:
+            outcome = optimize_circuit(
+                circuit,
+                self._library,
+                tc_ps,
+                k_paths=job.k_paths,
+                max_passes=job.max_passes,
+                limits=limits,
+                weight_mode=job.weight_mode,
+                allow_restructuring=job.allow_restructuring,
+            )
+            kind = KIND_OPTIMIZE_CIRCUIT
+            extra = {
+                "tc_ps": float(tc_ps),
+                "tmin_ps": float(bounds.tmin_ps),
+                "area_um": float(
+                    circuit_area_um(outcome.circuit, self._library)
+                ),
+            }
+        return RunRecord(
+            kind=kind,
+            job=job,
+            payload=outcome,
+            extra=extra,
+            elapsed_s=time.perf_counter() - started,
+            created_unix=time.time(),
+        )
+
+    def power(self, job: Job) -> RunRecord:
+        """Area / activity / power report for the job's circuit."""
+        started = time.perf_counter()
+        self.stats.jobs_run += 1
+        circuit = self.resolve_circuit(job)
+        activity = estimate_activity(circuit, n_vectors=job.activity_vectors)
+        report = estimate_power(
+            circuit,
+            self._library,
+            frequency_mhz=job.frequency_mhz,
+            activity=activity,
+        )
+        return RunRecord(
+            kind=KIND_POWER,
+            job=job,
+            payload=report,
+            extra={
+                "area_um": float(circuit_area_um(circuit, self._library)),
+                "mean_activity": float(activity.mean_rate),
+            },
+            elapsed_s=time.perf_counter() - started,
+            created_unix=time.time(),
+        )
+
+    # -- batch / scale-out ---------------------------------------------
+
+    def optimize_many(
+        self,
+        jobs: Iterable[Job],
+        workers: Optional[int] = None,
+    ) -> List[RunRecord]:
+        """Optimize a batch of jobs, optionally across worker processes.
+
+        ``workers`` at ``None``/``0``/``1`` runs the plain serial loop
+        (sharing every session cache).  Higher values fan the jobs out to
+        a ``concurrent.futures`` process pool seeded with this session's
+        library and (already characterised) Flimit table; environments
+        where subprocesses are unavailable fall back to the serial loop
+        transparently.  Record payloads are byte-identical between the
+        two paths; only the timing metadata differs.
+        """
+        job_list = list(jobs)
+        for job in job_list:
+            if not isinstance(job, Job):
+                raise JobError(f"optimize_many expects Job instances, got {job!r}")
+        if workers and workers > 1 and len(job_list) > 1:
+            try:
+                return self._optimize_parallel(job_list, workers)
+            except _POOL_ERRORS:
+                # Process pools need working semaphores / fork support;
+                # restricted environments (sandboxes, some CI runners)
+                # deny them -- the serial path is always available.  Job
+                # failures never land here: workers marshal them back and
+                # _optimize_parallel re-raises the original exception.
+                pass
+        return [self.optimize(job) for job in job_list]
+
+    def _optimize_parallel(self, jobs: Sequence[Job], workers: int) -> List[RunRecord]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        limits = self.flimits()
+        tasks = [
+            (self._library, limits, self.bench_dir, job.to_dict()) for job in jobs
+        ]
+        with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+            outcomes = list(pool.map(_optimize_job_worker, tasks))
+        for outcome in outcomes:
+            if _JOB_ERROR_KEY in outcome:
+                raise outcome[_JOB_ERROR_KEY]
+        self.stats.jobs_run += len(jobs)
+        return [RunRecord.from_dict(d, library=self._library) for d in outcomes]
+
+
+#: Sentinel key a worker uses to marshal a job failure back to the parent
+#: (so pool-infrastructure errors stay distinguishable from job errors).
+_JOB_ERROR_KEY = "__pops_job_error__"
+
+#: Pool-infrastructure failures that trigger the serial fallback.
+_POOL_ERRORS: Tuple[type, ...] = (OSError, ImportError, BrokenProcessPool)
+
+
+def _optimize_job_worker(task: Tuple[Library, Dict, Optional[str], Dict]) -> Dict:
+    """Process-pool entry: run one job in a fresh session, return a dict.
+
+    The parent's Flimit table is injected so workers never re-characterise;
+    the record crosses the process boundary in serialized form, which is
+    also what pins the byte-identical-payload guarantee.  Exceptions from
+    the job itself are marshalled rather than raised so the parent can
+    tell them apart from pool breakage.
+    """
+    library, limits, bench_dir, job_dict = task
+    session = Session(library=library, bench_dir=bench_dir)
+    session._flimits = limits
+    try:
+        return session.optimize(Job.from_dict(job_dict)).to_dict()
+    except Exception as exc:
+        return {_JOB_ERROR_KEY: exc}

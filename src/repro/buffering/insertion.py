@@ -23,6 +23,7 @@ polarity-free convention).
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -75,11 +76,37 @@ class BufferingResult:
         return 1.0 - self.delay_ps / self.baseline_delay_ps
 
 
-def default_flimits(library: Library) -> Dict[Tuple[GateKind, GateKind], float]:
-    """Characterise the library once and return the lookup table."""
+#: Per-library-instance characterisation cache.  Keyed by ``id`` because
+#: :class:`Library` carries an unhashable cell mapping; a weak reference
+#: guards against id reuse after garbage collection.
+_FLIMIT_CACHE: Dict[int, Tuple["weakref.ref", Dict[Tuple[GateKind, GateKind], float]]] = {}
+
+
+def default_flimits(
+    library: Library, use_cache: bool = True
+) -> Dict[Tuple[GateKind, GateKind], float]:
+    """Characterise the library once and return the lookup table.
+
+    Characterisation runs a bisection over golden-section searches per
+    gate pair -- by far the most expensive prerequisite of the protocol --
+    so the result is cached per library instance: every later call with
+    the same (immutable) library returns the table without recomputing.
+    ``use_cache=False`` forces a fresh characterisation.
+    """
+    if use_cache:
+        entry = _FLIMIT_CACHE.get(id(library))
+        if entry is not None and entry[0]() is library:
+            return entry[1]
     all_kinds = tuple(cell.kind for cell in library)
     entries = characterize_library(library, gates=all_kinds, drivers=(GateKind.INV,))
-    return flimit_lookup(entries)
+    limits = flimit_lookup(entries)
+    if use_cache:
+        key = id(library)
+        _FLIMIT_CACHE[key] = (
+            weakref.ref(library, lambda _: _FLIMIT_CACHE.pop(key, None)),
+            limits,
+        )
+    return limits
 
 
 def overloaded_stages(

@@ -1,49 +1,71 @@
-"""``pops`` command-line interface.
+"""``pops`` command-line interface: thin wrappers over the Session facade.
 
 Subcommands mirror the protocol steps:
 
 * ``pops characterize``             -- library Flimit table (Table 2 style)
 * ``pops bounds <benchmark>``       -- Tmin/Tmax of the critical path
 * ``pops optimize <benchmark>``     -- run the Fig. 7 protocol at a Tc
+* ``pops report <benchmark>``       -- STA timing report
+* ``pops power <benchmark>``        -- area / activity / power report
 * ``pops benchmarks``               -- list the registered circuits
+
+Every analysis subcommand accepts ``--json`` to emit the run record as a
+lossless JSON envelope (see :mod:`repro.api.records`) instead of the
+human-readable text -- the machine surface campaigns script against.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.buffering.flimit import TABLE2_GATES, characterize_library
-from repro.cells.gate_types import GateKind
-from repro.cells.library import default_library
-from repro.iscas.loader import benchmark_names, load_benchmark
-from repro.protocol.optimizer import optimize_path
+from repro import __version__
+from repro.api import Job, Session
 from repro.protocol.report import format_table
-from repro.sizing.bounds import delay_bounds
-from repro.timing.critical_paths import critical_path
-from repro.timing.report import timing_report
 
 
-def _cmd_benchmarks(_: argparse.Namespace) -> int:
-    library = default_library()
+def _session(args: argparse.Namespace) -> Session:
+    return Session(bench_dir=getattr(args, "bench_dir", None))
+
+
+def _emit(args: argparse.Namespace, record) -> bool:
+    """Print the JSON envelope when requested; returns True if handled."""
+    if getattr(args, "json", False):
+        print(record.to_json(indent=2))
+        return True
+    return False
+
+
+def _cmd_benchmarks(args: argparse.Namespace) -> int:
+    from repro.iscas.loader import benchmark_names, load_benchmark
+
     rows = []
     for name in benchmark_names():
-        circuit = load_benchmark(name)
-        stats = circuit.stats()
+        stats = load_benchmark(name).stats()
         rows.append((name, stats["total_gates"], stats["inputs"], stats["depth"]))
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                [
+                    {"name": n, "gates": g, "inputs": i, "depth": d}
+                    for n, g, i, d in rows
+                ],
+                indent=2,
+            )
+        )
+        return 0
     print(format_table(("circuit", "gates", "inputs", "depth"), rows))
-    del library
     return 0
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    library = default_library()
-    entries = characterize_library(
-        library, gates=TABLE2_GATES, with_simulation=args.simulate
-    )
+    record = _session(args).characterize(with_simulation=args.simulate)
+    if _emit(args, record):
+        return 0
     rows = []
-    for entry in entries:
+    for entry in record.payload:
         rows.append(
             (
                 entry.driver.value,
@@ -63,12 +85,12 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
-    library = default_library()
-    circuit = load_benchmark(args.benchmark, bench_dir=args.bench_dir)
-    extracted = critical_path(circuit, library)
-    bounds = delay_bounds(extracted.path, library)
+    record = _session(args).bounds(Job(benchmark=args.benchmark))
+    if _emit(args, record):
+        return 0
+    bounds = record.payload["bounds"]
     print(f"benchmark        : {args.benchmark}")
-    print(f"critical path    : {len(extracted.gate_names)} gates")
+    print(f"critical path    : {record.extra['path_gates']} gates")
     print(f"Tmax (min area)  : {bounds.tmax_ps:.1f} ps")
     print(f"Tmin             : {bounds.tmin_ps:.1f} ps")
     print(f"area at Tmax     : {bounds.area_tmax_um:.1f} um")
@@ -78,48 +100,95 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    library = default_library()
-    circuit = load_benchmark(args.benchmark, bench_dir=args.bench_dir)
-    extracted = critical_path(circuit, library)
-    bounds = delay_bounds(extracted.path, library)
-    tc = args.tc_ps if args.tc_ps is not None else args.tc_ratio * bounds.tmin_ps
-    outcome = optimize_path(extracted.path, library, tc)
+    job = Job(
+        benchmark=args.benchmark,
+        tc_ps=args.tc_ps,
+        tc_ratio=args.tc_ratio if args.tc_ps is None else None,
+        scope=args.scope,
+        k_paths=args.k_paths,
+        weight_mode=args.weight_mode,
+        allow_restructuring=not args.no_restructuring,
+    )
+    record = _session(args).optimize(job)
+    if _emit(args, record):
+        return 0
+    outcome = record.payload
+    tc = record.extra["tc_ps"]
+    tmin = record.extra["tmin_ps"]
     print(f"benchmark   : {args.benchmark}")
-    print(f"Tmin        : {bounds.tmin_ps:.1f} ps")
-    print(f"Tc          : {tc:.1f} ps ({tc / bounds.tmin_ps:.2f} x Tmin)")
-    print(f"domain      : {outcome.domain.domain}")
-    print(f"method      : {outcome.method}")
-    print(f"delay       : {outcome.delay_ps:.1f} ps (slack {outcome.slack_ps:.1f})")
-    print(f"area (sumW) : {outcome.area_um:.1f} um")
-    print(f"feasible    : {outcome.feasible}")
+    print(f"Tmin        : {tmin:.1f} ps")
+    print(f"Tc          : {tc:.1f} ps ({tc / tmin:.2f} x Tmin)")
+    if args.scope == "path":
+        print(f"domain      : {outcome.domain.domain}")
+        print(f"method      : {outcome.method}")
+        print(f"delay       : {outcome.delay_ps:.1f} ps (slack {outcome.slack_ps:.1f})")
+        print(f"area (sumW) : {outcome.area_um:.1f} um")
+        print(f"feasible    : {outcome.feasible}")
+    else:
+        print(f"passes      : {outcome.passes}")
+        print(f"paths run   : {len(outcome.path_results)}")
+        print(f"delay       : {outcome.critical_delay_ps:.1f} ps")
+        print(f"area (sumW) : {record.extra['area_um']:.1f} um")
+        print(f"feasible    : {outcome.feasible}")
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    library = default_library()
-    circuit = load_benchmark(args.benchmark, bench_dir=args.bench_dir)
-    from repro.timing.sta import analyze
+    from repro.iscas.loader import load_benchmark
+    from repro.timing.report import timing_report
 
-    sta = analyze(circuit, library)
+    session = _session(args)
+    circuit = load_benchmark(args.benchmark, bench_dir=args.bench_dir)
+    sta = session.sta(circuit)
     tc = args.tc_ps if args.tc_ps is not None else 1.1 * sta.critical_delay_ps
-    report = timing_report(circuit, library, tc, k_paths=args.paths, sta=sta)
+    report = timing_report(
+        circuit, session.library, tc, k_paths=args.paths, sta=sta
+    )
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                {
+                    "circuit": report.circuit_name,
+                    "tc_ps": report.tc_ps,
+                    "critical_delay_ps": report.critical_delay_ps,
+                    "worst_slack_ps": report.worst_slack_ps,
+                    "violated": report.violated,
+                    "max_transition_ps": report.max_transition_ps,
+                    "endpoints": [
+                        {
+                            "net": e.net,
+                            "edge": e.edge.value,
+                            "arrival_ps": e.arrival_ps,
+                            "slack_ps": e.slack_ps,
+                        }
+                        for e in report.endpoints
+                    ],
+                    "worst_paths": [
+                        {"gates": list(gates), "delay_ps": delay}
+                        for gates, delay in report.worst_paths
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(report.render())
     return 0
 
 
 def _cmd_power(args: argparse.Namespace) -> int:
-    from repro.analysis.activity import estimate_activity
-    from repro.analysis.area import circuit_area_um
-    from repro.analysis.power import estimate_power
-
-    library = default_library()
-    circuit = load_benchmark(args.benchmark, bench_dir=args.bench_dir)
-    activity = estimate_activity(circuit, n_vectors=args.vectors)
-    report = estimate_power(circuit, library, frequency_mhz=args.frequency,
-                            activity=activity)
+    job = Job(
+        benchmark=args.benchmark,
+        frequency_mhz=args.frequency,
+        activity_vectors=args.vectors,
+    )
+    record = _session(args).power(job)
+    if _emit(args, record):
+        return 0
+    report = record.payload
     print(f"benchmark        : {args.benchmark}")
-    print(f"area (sum W)     : {circuit_area_um(circuit, library):.1f} um")
-    print(f"mean activity    : {activity.mean_rate:.3f} toggles/vector")
+    print(f"area (sum W)     : {record.extra['area_um']:.1f} um")
+    print(f"mean activity    : {record.extra['mean_activity']:.3f} toggles/vector")
     print(f"dynamic power    : {report.dynamic_uw:.2f} uW @ {args.frequency} MHz")
     print(f"short-circuit    : {report.short_circuit_uw:.2f} uW")
     print(f"total            : {report.total_uw:.2f} uW")
@@ -132,9 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="pops",
         description="POPS low-power CMOS circuit optimization protocol (DATE'05)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"pops {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("benchmarks", help="list registered benchmark circuits")
+    p_bench = sub.add_parser("benchmarks", help="list registered benchmark circuits")
+    p_bench.add_argument("--json", action="store_true", help="machine-readable output")
 
     p_char = sub.add_parser("characterize", help="library Flimit table")
     p_char.add_argument(
@@ -142,10 +215,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also derive Flimit from the transistor-level simulator (slow)",
     )
+    p_char.add_argument("--json", action="store_true", help="emit the run record")
 
     p_bounds = sub.add_parser("bounds", help="critical path delay bounds")
     p_bounds.add_argument("benchmark", help="benchmark name (see 'benchmarks')")
     p_bounds.add_argument("--bench-dir", default=None, help="real .bench directory")
+    p_bounds.add_argument("--json", action="store_true", help="emit the run record")
 
     p_opt = sub.add_parser("optimize", help="run the optimization protocol")
     p_opt.add_argument("benchmark")
@@ -158,12 +233,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.5,
         help="constraint as a multiple of Tmin (default 1.5)",
     )
+    p_opt.add_argument(
+        "--scope",
+        choices=("path", "circuit"),
+        default="path",
+        help="optimize the critical path or the whole netlist",
+    )
+    p_opt.add_argument(
+        "--k-paths", type=int, default=4, help="paths per circuit-scope pass"
+    )
+    p_opt.add_argument(
+        "--weight-mode",
+        choices=("uniform", "area"),
+        default="uniform",
+        help="eq. 6 sensitivity weights",
+    )
+    p_opt.add_argument(
+        "--no-restructuring",
+        action="store_true",
+        help="forbid the De Morgan fallback for infeasible constraints",
+    )
+    p_opt.add_argument("--json", action="store_true", help="emit the run record")
 
     p_report = sub.add_parser("report", help="STA timing report")
     p_report.add_argument("benchmark")
     p_report.add_argument("--bench-dir", default=None)
     p_report.add_argument("--tc-ps", type=float, default=None)
     p_report.add_argument("--paths", type=int, default=3)
+    p_report.add_argument("--json", action="store_true",
+                          help="machine-readable report")
 
     p_power = sub.add_parser("power", help="area / activity / power report")
     p_power.add_argument("benchmark")
@@ -172,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="clock frequency in MHz")
     p_power.add_argument("--vectors", type=int, default=128,
                          help="random vectors for activity estimation")
+    p_power.add_argument("--json", action="store_true", help="emit the run record")
     return parser
 
 
@@ -188,7 +287,15 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream consumer (head, jq -e ...) closed the pipe early;
+        # silence the shutdown traceback and exit with the SIGPIPE code.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -94,20 +94,26 @@ def optimize_path(
     allow_restructuring: bool = True,
     weight_mode: str = "uniform",
     conserve_structure: bool = False,
+    tmin_ps: Optional[float] = None,
 ) -> ProtocolResult:
     """Run the full Fig. 7 protocol on one bounded path.
 
     ``conserve_structure`` keeps the path's gate list intact whenever the
     constraint is reachable by sizing alone (the circuit driver uses it so
     results can be written back onto the netlist; structural help is then
-    applied at the netlist level).
+    applied at the netlist level).  ``tmin_ps`` lets callers that already
+    ran the eq. 4 fixed point on this exact path (the Session facade, a
+    Tc-sweep) skip recomputing it for the domain classification.
     """
     if tc_ps <= 0:
         raise ValueError("tc_ps must be positive")
     if limits is None:
         limits = default_flimits(library)
 
-    tmin, _, _, _ = min_delay_bound(path, library)
+    if tmin_ps is not None:
+        tmin = tmin_ps
+    else:
+        tmin, _, _, _ = min_delay_bound(path, library)
     classification = classify_constraint(tc_ps, tmin)
     domain = classification.domain
 
@@ -318,6 +324,7 @@ def optimize_circuit(
     max_passes: int = 6,
     limits: Optional[Dict] = None,
     weight_mode: str = "uniform",
+    allow_restructuring: bool = True,
 ) -> CircuitOptimizationResult:
     """Apply the path protocol over a circuit's critical paths.
 
@@ -357,6 +364,7 @@ def optimize_circuit(
                 library,
                 tc_ps,
                 limits=limits,
+                allow_restructuring=allow_restructuring,
                 weight_mode=weight_mode,
                 conserve_structure=True,
             )

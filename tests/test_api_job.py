@@ -1,0 +1,100 @@
+"""Job specification: validation, derived helpers, serialization."""
+
+import pytest
+
+from repro.api import Job, JobError
+from repro.cells.gate_types import GateKind
+from repro.netlist.circuit import Circuit
+
+
+def _toy_circuit() -> Circuit:
+    circuit = Circuit("toy")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    circuit.add_gate("n1", GateKind.NAND2, [a, b])
+    circuit.add_gate("o1", GateKind.INV, ["n1"], cin_ff=6.5)
+    circuit.add_output("o1")
+    return circuit
+
+
+class TestValidation:
+    def test_minimal_benchmark_job(self):
+        job = Job(benchmark="c432")
+        assert job.name == "c432"
+        assert not job.has_constraint
+
+    def test_requires_a_target(self):
+        with pytest.raises(JobError, match="exactly one"):
+            Job()
+
+    def test_rejects_both_targets(self):
+        with pytest.raises(JobError, match="exactly one"):
+            Job(benchmark="c432", circuit=_toy_circuit())
+
+    def test_rejects_both_constraints(self):
+        with pytest.raises(JobError, match="at most one"):
+            Job(benchmark="c432", tc_ps=500.0, tc_ratio=1.5)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"tc_ps": 0.0},
+        {"tc_ps": -5.0},
+        {"tc_ratio": -1.0},
+        {"scope": "galaxy"},
+        {"k_paths": 0},
+        {"max_passes": 0},
+        {"weight_mode": "heavy"},
+        {"frequency_mhz": 0.0},
+        {"activity_vectors": 1},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(JobError):
+            Job(benchmark="c432", **kwargs)
+
+    def test_bench_dir_only_for_benchmarks(self):
+        with pytest.raises(JobError, match="bench_dir"):
+            Job(circuit=_toy_circuit(), bench_dir="/tmp")
+
+    def test_benchmark_must_be_string(self):
+        with pytest.raises(JobError, match="string"):
+            Job(benchmark=42)
+
+
+class TestHelpers:
+    def test_label_wins_name(self):
+        assert Job(benchmark="c432", label="sweep-3").name == "sweep-3"
+
+    def test_circuit_job_name(self):
+        assert Job(circuit=_toy_circuit()).name == "toy"
+
+    def test_with_constraint_swaps_cleanly(self):
+        job = Job(benchmark="c432", tc_ps=900.0)
+        swept = job.with_constraint(tc_ratio=1.4)
+        assert swept.tc_ps is None and swept.tc_ratio == 1.4
+        assert job.tc_ps == 900.0  # original untouched
+
+    def test_with_constraint_requires_exactly_one(self):
+        with pytest.raises(JobError):
+            Job(benchmark="c432").with_constraint()
+
+    def test_jobs_are_hashable(self):
+        assert len({Job(benchmark="c432"), Job(benchmark="c432")}) == 1
+
+
+class TestSerialization:
+    def test_round_trip_benchmark_job(self):
+        job = Job(benchmark="c880", tc_ratio=1.25, scope="circuit",
+                  k_paths=6, weight_mode="area", label="campaign")
+        assert Job.from_dict(job.to_dict()) == job
+
+    def test_round_trip_inline_circuit(self):
+        job = Job(circuit=_toy_circuit(), tc_ps=450.0)
+        clone = Job.from_dict(job.to_dict())
+        assert clone.circuit.stats() == job.circuit.stats()
+        assert clone.circuit.gates["o1"].cin_ff == 6.5
+        assert clone.to_dict() == job.to_dict()
+
+    def test_rejects_unknown_fields(self):
+        data = Job(benchmark="c432").to_dict()
+        data["turbo"] = True
+        with pytest.raises(JobError, match="unknown"):
+            Job.from_dict(data)

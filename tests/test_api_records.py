@@ -1,0 +1,114 @@
+"""RunRecord envelopes: lossless JSON round-trips for every payload kind."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import Job, RecordError, RunRecord, Session
+from repro.api.serialization import (
+    circuit_from_dict,
+    circuit_to_dict,
+    flimit_table_from_list,
+    flimit_table_to_list,
+)
+from repro.cells.gate_types import GateKind
+from repro.cells.library import default_library
+from repro.iscas.loader import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+def _json_round_trip(record: RunRecord, session: Session) -> RunRecord:
+    text = record.to_json()
+    return RunRecord.from_json(text, library=session.library)
+
+
+class TestRoundTrips:
+    def test_path_optimize_record(self, session):
+        record = session.optimize(Job(benchmark="fpd", tc_ratio=1.4))
+        clone = _json_round_trip(record, session)
+        assert clone.to_dict() == record.to_dict()
+        # The typed payload survives too, not just the dict form.
+        assert clone.payload.method == record.payload.method
+        assert clone.payload.domain == record.payload.domain
+        assert clone.payload.slack_ps == pytest.approx(record.payload.slack_ps)
+        assert clone.job == record.job
+
+    def test_circuit_optimize_record(self, session):
+        record = session.optimize(
+            Job(benchmark="fpd", tc_ratio=1.6, scope="circuit",
+                k_paths=2, max_passes=2)
+        )
+        clone = _json_round_trip(record, session)
+        assert clone.to_dict() == record.to_dict()
+        assert clone.payload.critical_delay_ps == record.payload.critical_delay_ps
+        assert clone.payload.circuit.stats() == record.payload.circuit.stats()
+
+    def test_bounds_record(self, session):
+        record = session.bounds(Job(benchmark="fpd"))
+        clone = _json_round_trip(record, session)
+        assert clone.to_dict() == record.to_dict()
+        assert clone.payload["bounds"].tmin_ps == record.payload["bounds"].tmin_ps
+        assert clone.payload["gate_names"] == record.payload["gate_names"]
+
+    def test_power_record(self, session):
+        record = session.power(Job(benchmark="fpd", activity_vectors=16))
+        clone = _json_round_trip(record, session)
+        assert clone.to_dict() == record.to_dict()
+        assert clone.payload.total_uw == pytest.approx(record.payload.total_uw)
+
+    def test_characterize_record(self, session):
+        record = session.characterize()
+        clone = _json_round_trip(record, session)
+        assert clone.to_dict() == record.to_dict()
+        assert [e.gate for e in clone.payload] == [e.gate for e in record.payload]
+
+    def test_timing_metadata_is_optional(self, session):
+        record = session.bounds(Job(benchmark="fpd"))
+        assert "timing" in record.to_dict()
+        slim = record.to_dict(with_timing=False)
+        assert "timing" not in slim
+        # A record rebuilt without timing still round-trips its payload.
+        clone = RunRecord.from_dict(
+            json.loads(json.dumps(slim)), library=session.library
+        )
+        assert clone.to_dict(with_timing=False) == slim
+
+
+class TestHelpers:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(RecordError):
+            RunRecord(kind="teleport", job=None, payload=None)
+        with pytest.raises(RecordError):
+            RunRecord.from_dict({"kind": "teleport", "payload": None})
+
+    def test_circuit_dict_round_trip_preserves_sizing(self):
+        circuit = load_benchmark("fpd")
+        circuit.gates[next(iter(circuit.gates))].cin_ff = 12.25
+        clone = circuit_from_dict(circuit_to_dict(circuit))
+        assert clone.stats() == circuit.stats()
+        assert [g.cin_ff for g in clone.gates.values()] == [
+            g.cin_ff for g in circuit.gates.values()
+        ]
+
+    def test_flimit_table_round_trip_with_inf(self):
+        table = {
+            (GateKind.INV, GateKind.NAND2): 37.5,
+            (GateKind.INV, GateKind.INV): math.inf,
+        }
+        rows = flimit_table_to_list(table)
+        assert json.loads(json.dumps(rows)) == rows  # strict-JSON safe
+        assert flimit_table_from_list(rows) == table
+
+    def test_default_library_rebind(self, session):
+        # Records are portable: a *fresh* default library re-binds cells.
+        record = session.optimize(Job(benchmark="fpd", tc_ratio=2.0))
+        clone = RunRecord.from_json(record.to_json())  # library omitted
+        assert clone.to_dict() == record.to_dict()
+        assert clone.payload.path.cells == tuple(
+            default_library().cell(k) for k in record.payload.path.kinds
+        )

@@ -1,5 +1,7 @@
 """Tests for the ``pops`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -45,6 +47,54 @@ class TestCommands:
     def test_unknown_benchmark_raises(self):
         with pytest.raises(KeyError):
             main(["bounds", "c0000"])
+
+
+class TestVersionAndJson:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        from repro import __version__
+
+        assert __version__ in capsys.readouterr().out
+
+    def test_benchmarks_json(self, capsys):
+        assert main(["benchmarks", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {"name", "gates", "inputs", "depth"} <= set(rows[0])
+        assert any(row["name"] == "adder16" for row in rows)
+
+    def test_bounds_json_is_a_run_record(self, capsys):
+        assert main(["bounds", "fpd", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "bounds"
+        assert data["job"]["benchmark"] == "fpd"
+        bounds = data["payload"]["bounds"]
+        assert bounds["tmin_ps"] < bounds["tmax_ps"]
+
+    def test_optimize_json_round_trips(self, capsys):
+        from repro.api import RunRecord
+
+        assert main(["optimize", "fpd", "--tc-ratio", "1.4", "--json"]) == 0
+        record = RunRecord.from_json(capsys.readouterr().out)
+        assert record.kind == "optimize-path"
+        assert record.payload.feasible
+        assert record.extra["tc_ps"] == pytest.approx(
+            1.4 * record.extra["tmin_ps"]
+        )
+
+    def test_optimize_circuit_scope(self, capsys):
+        assert main(["optimize", "fpd", "--tc-ratio", "1.8",
+                     "--scope", "circuit", "--k-paths", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "passes" in out
+        assert "feasible" in out
+
+    def test_power_json(self, capsys):
+        assert main(["power", "fpd", "--vectors", "16", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "power"
+        assert data["payload"]["dynamic_uw"] > 0
 
 
 class TestReportCommands:
