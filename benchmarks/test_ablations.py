@@ -9,7 +9,6 @@ out, so a reader can see what each choice buys:
 * seed (CREF) independence of the Tmin iteration.
 """
 
-import numpy as np
 import pytest
 
 from repro.buffering.insertion import min_delay_with_buffers

@@ -8,10 +8,8 @@ protocol-sized path across process corners and wire-load classes, and the
 Tc guard band a yield target implies.
 """
 
-import pytest
 
 from repro.analysis.variation import (
-    VariationSpec,
     delay_distribution,
     required_guard_band,
 )

@@ -6,7 +6,6 @@ constraints, and locates the weak / medium / hard domain boundaries the
 protocol uses (2.5 Tmin and 1.2 Tmin).
 """
 
-import numpy as np
 import pytest
 
 from repro.buffering.insertion import distribute_with_buffers, min_delay_with_buffers

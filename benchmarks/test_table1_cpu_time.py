@@ -9,7 +9,6 @@ columns plus the measured speed-up and the underlying evaluation counts.
 
 import time
 
-import pytest
 
 from repro.baselines.amps import amps_distribute_constraint
 from repro.protocol.report import format_table

@@ -17,12 +17,11 @@ the constant-sensitivity sizing vs a greedy baseline at equal ``Tc``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.analysis.activity import ActivityReport, estimate_activity
 from repro.cells.library import Library
 from repro.netlist.circuit import Circuit
-from repro.timing.delay_model import Edge
 from repro.timing.sta import analyze, external_loads, gate_sizes
 
 

@@ -26,7 +26,12 @@ from repro.api.records import (
     RecordError,
     RunRecord,
 )
-from repro.api.session import Session, SessionStats, circuit_state_key
+from repro.api.session import (
+    Session,
+    SessionStats,
+    circuit_state_key,
+    circuit_structure_key,
+)
 
 __all__ = [
     "Job",
@@ -44,4 +49,5 @@ __all__ = [
     "Session",
     "SessionStats",
     "circuit_state_key",
+    "circuit_structure_key",
 ]

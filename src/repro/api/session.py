@@ -8,7 +8,12 @@ memoizes every expensive derived artefact around it:
 * **benchmarks** are parsed/generated once and handed out as copies;
 * **STA results, critical-path extractions and delay bounds** are keyed
   by a circuit *state hash* (structure + sizing), so a Tc-sweep over one
-  benchmark pays extraction and the eq. 4 fixed point once, not per job.
+  benchmark pays extraction and the eq. 4 fixed point once, not per job;
+* an **incremental STA engine** is kept per circuit *structure hash*:
+  when only sizes changed since the last analysis, the miss re-times
+  just the affected fan-out cones instead of the whole circuit (the
+  result stays bit-identical to a from-scratch run, and stale state is
+  impossible -- any timing-relevant mutation changes the state hash).
 
 Operations take a declarative :class:`~repro.api.job.Job` and return a
 :class:`~repro.api.records.RunRecord` -- a serializable envelope that the
@@ -46,7 +51,8 @@ from repro.process.technology import Technology
 from repro.protocol.optimizer import optimize_circuit, optimize_path
 from repro.sizing.bounds import DelayBounds, delay_bounds
 from repro.timing.critical_paths import ExtractedPath, critical_path
-from repro.timing.sta import StaResult, analyze
+from repro.timing.incremental import IncrementalSta
+from repro.timing.sta import StaResult
 
 #: Circuit state key: structure plus sizing, hashable.
 StateKey = Tuple
@@ -61,6 +67,7 @@ class SessionStats:
     benchmark_misses: int = 0
     sta_hits: int = 0
     sta_misses: int = 0
+    sta_incremental: int = 0
     path_hits: int = 0
     path_misses: int = 0
     bounds_hits: int = 0
@@ -77,7 +84,9 @@ def circuit_state_key(circuit: Circuit) -> StateKey:
 
     Any mutation that can change timing -- topology, gate kinds, fan-in
     order, per-gate sizes -- changes the key, so memoized STA/extraction
-    results can never go stale.
+    results can never go stale: a circuit mutated *after* an analysis was
+    cached simply presents a new key and gets a fresh analysis (see the
+    session-invalidation tests).
     """
     return (
         circuit.name,
@@ -85,6 +94,24 @@ def circuit_state_key(circuit: Circuit) -> StateKey:
         tuple(circuit.outputs),
         tuple(
             (gate.name, gate.kind.value, gate.fanin, gate.cin_ff)
+            for gate in circuit.gates.values()
+        ),
+    )
+
+
+def circuit_structure_key(circuit: Circuit) -> StateKey:
+    """The sizing-free prefix of :func:`circuit_state_key`.
+
+    Two circuits with the same structure key differ at most in per-gate
+    ``cin_ff`` values -- exactly the precondition for re-timing one from
+    the other with an incremental cone update instead of a full STA.
+    """
+    return (
+        circuit.name,
+        tuple(circuit.inputs),
+        tuple(circuit.outputs),
+        tuple(
+            (gate.name, gate.kind.value, gate.fanin)
             for gate in circuit.gates.values()
         ),
     )
@@ -119,6 +146,7 @@ class Session:
         self._flimits: Optional[Dict] = None
         self._benchmarks: Dict[Tuple[str, Optional[str]], Circuit] = {}
         self._sta_cache: Dict[StateKey, StaResult] = {}
+        self._engines: Dict[StateKey, IncrementalSta] = {}
         self._path_cache: Dict[StateKey, ExtractedPath] = {}
         self._bounds_cache: Dict[StateKey, DelayBounds] = {}
 
@@ -165,14 +193,40 @@ class Session:
         return master.copy()
 
     def sta(self, circuit: Circuit) -> StaResult:
-        """Static timing analysis, memoized on the circuit state hash."""
+        """Static timing analysis, memoized on the circuit state hash.
+
+        Mutating a circuit after a result was cached can never serve
+        stale arrivals: the state hash covers structure *and* sizing, so
+        the mutated circuit misses the result cache.  The miss is then
+        served by an :class:`~repro.timing.incremental.IncrementalSta`
+        engine cached per *structure* hash -- a pure re-sizing re-times
+        only the changed fan-out cones (``stats.sta_incremental``), a
+        structural edit builds a fresh engine; either way the payload is
+        bit-identical to a from-scratch analysis.
+        """
         key = circuit_state_key(circuit)
         cached = self._sta_cache.get(key)
         if cached is not None:
             self.stats.sta_hits += 1
             return cached
         self.stats.sta_misses += 1
-        result = analyze(circuit, self._library)
+        skey = circuit_structure_key(circuit)
+        engine = self._engines.get(skey)
+        if engine is None:
+            # The engine owns a private copy: later caller-side
+            # mutations cannot desynchronise its cached annotation.
+            engine = IncrementalSta(circuit.copy(), self._library)
+            self._engines[skey] = engine
+            result = engine.result()
+        else:
+            changed = []
+            for name, gate in circuit.gates.items():
+                own = engine.circuit.gates[name]
+                if own.cin_ff != gate.cin_ff:
+                    own.cin_ff = gate.cin_ff
+                    changed.append(name)
+            result = engine.update(changed)
+            self.stats.sta_incremental += 1
         self._sta_cache[key] = result
         return result
 
@@ -184,7 +238,7 @@ class Session:
             self.stats.path_hits += 1
             return cached
         self.stats.path_misses += 1
-        extracted = critical_path(circuit, self._library)
+        extracted = critical_path(circuit, self._library, sta=self.sta(circuit))
         self._path_cache[key] = extracted
         return extracted
 
@@ -206,6 +260,7 @@ class Session:
         self._flimits = None
         self._benchmarks.clear()
         self._sta_cache.clear()
+        self._engines.clear()
         self._path_cache.clear()
         self._bounds_cache.clear()
 

@@ -22,7 +22,7 @@ constraint solutions (Fig. 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -14,7 +14,14 @@ from repro.buffering.insertion import (
     distribute_with_buffers,
     insert_buffers_at,
     min_delay_with_buffers,
+    overloaded_gates,
     overloaded_stages,
+)
+from repro.buffering.netlist_insertion import (
+    insert_buffer_pair,
+    reduce_delay_with_buffers,
+    remove_buffer_pair,
+    trial_buffer_pairs,
 )
 
 __all__ = [
@@ -27,7 +34,12 @@ __all__ = [
     "BufferingResult",
     "default_flimits",
     "overloaded_stages",
+    "overloaded_gates",
     "insert_buffers_at",
     "min_delay_with_buffers",
     "distribute_with_buffers",
+    "insert_buffer_pair",
+    "remove_buffer_pair",
+    "trial_buffer_pairs",
+    "reduce_delay_with_buffers",
 ]

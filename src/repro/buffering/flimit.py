@@ -27,7 +27,7 @@ from repro.cells.gate_types import GateKind
 from repro.cells.library import Library
 from repro.timing.delay_model import Edge
 from repro.timing.evaluation import path_delay_ps
-from repro.timing.path import BoundedPath, PathStage, make_path
+from repro.timing.path import make_path
 
 
 @dataclass(frozen=True)

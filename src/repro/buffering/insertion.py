@@ -31,15 +31,16 @@ import numpy as np
 
 from repro.cells.gate_types import GateKind
 from repro.cells.library import Library
-from repro.buffering.flimit import TABLE2_GATES, characterize_library, flimit_lookup
+from repro.buffering.flimit import characterize_library, flimit_lookup
+from repro.netlist.circuit import Circuit
 from repro.sizing.bounds import min_delay_bound
 from repro.sizing.sensitivity import ConstraintResult, distribute_constraint
 from repro.timing.evaluation import (
     path_area_um,
-    path_delay_ps,
     stage_external_loads,
 )
 from repro.timing.path import BoundedPath, PathStage
+from repro.timing.sta import StaResult, external_loads, gate_sizes
 
 
 @dataclass(frozen=True)
@@ -131,6 +132,33 @@ def overloaded_stages(
             limit = limits.get((GateKind.INV, stage.cell.kind), math.inf)
         if ratios[i] > margin * limit:
             flagged.append(i)
+    return flagged
+
+
+def overloaded_gates(
+    circuit: Circuit,
+    library: Library,
+    limits: Dict[Tuple[GateKind, GateKind], float],
+    sta: Optional[StaResult] = None,
+    margin: float = 1.0,
+) -> List[str]:
+    """Netlist-level analogue of :func:`overloaded_stages`.
+
+    Flags every gate whose fan-out ratio ``F = C_L / C_IN`` at the
+    current sizing exceeds ``margin * Flimit``.  Loads come from ``sta``
+    when given (e.g. an :class:`~repro.timing.incremental.IncrementalSta`
+    view -- no re-analysis) and from a fresh load assembly otherwise.
+    A netlist gate has one driver per input, so the inverter-driven
+    limit is used -- the conservative table row the characterisation
+    orders first.
+    """
+    sizes = gate_sizes(circuit, library)
+    loads = sta.loads_ff if sta is not None else external_loads(circuit, library)
+    flagged: List[str] = []
+    for name, gate in circuit.gates.items():
+        limit = limits.get((GateKind.INV, gate.kind), math.inf)
+        if loads[name] > margin * limit * sizes[name]:
+            flagged.append(name)
     return flagged
 
 

@@ -14,7 +14,7 @@ through :func:`repro.iscas.loader.load_benchmark`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 
 @dataclass(frozen=True)

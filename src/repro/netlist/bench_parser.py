@@ -19,7 +19,7 @@ offers as a single stage.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 from repro.cells.gate_types import (
     GateKind,

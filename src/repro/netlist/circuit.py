@@ -9,7 +9,7 @@ share one source of truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.cells.gate_types import GateKind, logic_eval, num_inputs

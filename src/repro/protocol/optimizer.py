@@ -22,7 +22,7 @@ loads), until the circuit's critical delay meets the constraint.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -45,9 +45,8 @@ from repro.restructuring.demorgan import (
 from repro.sizing.bounds import min_delay_bound
 from repro.sizing.sensitivity import distribute_constraint
 from repro.timing.critical_paths import apply_path_sizes, k_critical_paths
-from repro.timing.evaluation import path_area_um
+from repro.timing.incremental import IncrementalSta
 from repro.timing.path import BoundedPath
-from repro.timing.sta import analyze
 
 
 @dataclass(frozen=True)
@@ -347,14 +346,18 @@ def optimize_circuit(
         for name, cin in state.items():
             working.gates[name].cin_ff = cin
 
+    # One incremental engine tracks ``working`` for the whole run: each
+    # pass re-times only the fan-out cones of the gates it touched
+    # instead of re-running full STA (bit-identical by construction).
+    engine = IncrementalSta(working, library)
     best_state = snapshot()
-    best_delay = analyze(working, library).critical_delay_ps
+    best_delay = engine.critical_delay_ps
     stalled_passes = 0
     for _ in range(max_passes):
         if best_delay <= tc_ps:
             break
         passes += 1
-        extracted = k_critical_paths(working, library, k=k_paths)
+        extracted = k_critical_paths(working, library, k=k_paths, sta=engine.result())
         progressed = False
         for candidate in extracted:
             if candidate.delay_ps <= tc_ps:
@@ -371,18 +374,19 @@ def optimize_circuit(
             results.append(outcome)
             if len(outcome.path) == len(candidate.path):
                 apply_path_sizes(working, candidate.gate_names, outcome.sizes)
+                engine.update(candidate.gate_names)
                 progressed = True
             else:
-                progressed |= _apply_structural_outcome(
-                    working, library, candidate, outcome
-                )
+                if _apply_structural_outcome(working, library, candidate, outcome):
+                    engine.refresh_structure()
+                    progressed = True
         if not progressed:
             break
         # Sizing one path reloads adjacent paths (the interaction the
         # paper warns about).  A pass may regress transiently -- the next
         # extraction then targets the newly critical side path -- so keep
         # the best state seen and only stop after two stalled passes.
-        delay_now = analyze(working, library).critical_delay_ps
+        delay_now = engine.critical_delay_ps
         if delay_now < best_delay - 1e-6:
             best_delay = delay_now
             best_state = snapshot()
@@ -393,7 +397,7 @@ def optimize_circuit(
                 break
 
     restore(best_state)
-    final = analyze(working, library)
+    final = engine.update(best_state)
     return CircuitOptimizationResult(
         circuit=working,
         tc_ps=tc_ps,

@@ -25,14 +25,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cells.gate_types import GateKind, nand_kind, nor_kind, num_inputs
+from repro.cells.gate_types import GateKind
 from repro.cells.library import Library
-from repro.buffering.flimit import flimit_lookup
 from repro.buffering.insertion import default_flimits, overloaded_stages
 from repro.netlist.circuit import Circuit
 from repro.sizing.bounds import min_delay_bound
 from repro.sizing.sensitivity import ConstraintResult, distribute_constraint
-from repro.timing.evaluation import path_area_um
 from repro.timing.path import BoundedPath, PathStage
 
 _NOR_TO_NAND = {

@@ -10,6 +10,7 @@ from repro.sizing.bounds import (
 from repro.sizing.sensitivity import (
     ConstraintResult,
     SensitivitySolution,
+    circuit_gate_sensitivities,
     distribute_constraint,
     sensitivity_sweep,
     solve_sensitivity,
@@ -26,4 +27,5 @@ __all__ = [
     "solve_sensitivity",
     "sensitivity_sweep",
     "distribute_constraint",
+    "circuit_gate_sensitivities",
 ]

@@ -31,7 +31,6 @@ from repro.timing.evaluation import (
     effective_a_coeffs,
     path_area_um,
     path_delay_ps,
-    stage_external_loads,
 )
 from repro.timing.path import BoundedPath
 

@@ -7,7 +7,7 @@ extrapolated to full swing.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

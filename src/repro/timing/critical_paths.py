@@ -25,10 +25,10 @@ import numpy as np
 
 from repro.cells.library import Library
 from repro.netlist.circuit import Circuit
-from repro.timing.delay_model import Edge, gate_delay, output_edge_for
+from repro.timing.delay_model import Edge, gate_delay
 from repro.timing.evaluation import evaluate_path
 from repro.timing.path import BoundedPath, PathStage
-from repro.timing.sta import analyze, external_loads, gate_sizes
+from repro.timing.sta import StaResult, analyze, external_loads, gate_sizes
 
 
 @dataclass(frozen=True)
@@ -154,24 +154,30 @@ def k_critical_paths(
     input_transition_ps: float = 0.0,
     output_load_ff: Optional[float] = None,
     max_expansions: int = 200_000,
+    sta: Optional[StaResult] = None,
 ) -> List[ExtractedPath]:
     """Extract the ``k`` most critical paths of a sized circuit.
 
     Returns them sorted by exact path delay, longest first.  ``k = 1``
-    degenerates to the classic critical path.
+    degenerates to the classic critical path.  ``sta`` skips the
+    internal full analysis when the caller already holds the circuit's
+    current annotation (e.g. from an
+    :class:`~repro.timing.incremental.IncrementalSta` engine); it must
+    have been computed under the same transition/load parameters.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
     circuit.validate()
     sizes = gate_sizes(circuit, library)
-    loads = external_loads(circuit, library, output_load_ff, sizes)
-    sta = analyze(
-        circuit,
-        library,
-        input_transition_ps=input_transition_ps,
-        output_load_ff=output_load_ff,
-        sizes=sizes,
-    )
+    if sta is None:
+        sta = analyze(
+            circuit,
+            library,
+            input_transition_ps=input_transition_ps,
+            output_load_ff=output_load_ff,
+            sizes=sizes,
+        )
+    loads = sta.loads_ff
     slews = {
         net: {edge: ev.transition_ps for edge, ev in per_net.items()}
         for net, per_net in sta.arrivals.items()
@@ -269,6 +275,7 @@ def critical_path(
     library: Library,
     input_transition_ps: float = 0.0,
     output_load_ff: Optional[float] = None,
+    sta: Optional[StaResult] = None,
 ) -> ExtractedPath:
     """The single most critical path (convenience wrapper)."""
     paths = k_critical_paths(
@@ -277,6 +284,7 @@ def critical_path(
         k=1,
         input_transition_ps=input_transition_ps,
         output_load_ff=output_load_ff,
+        sta=sta,
     )
     if not paths:
         raise ValueError(f"no paths found in circuit {circuit.name!r}")

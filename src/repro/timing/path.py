@@ -18,7 +18,7 @@ circuit-level driver re-extracts paths after each change.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np

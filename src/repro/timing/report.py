@@ -8,7 +8,7 @@ the optimization protocol.  Pure formatting/aggregation on top of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.cells.library import Library
 from repro.netlist.circuit import Circuit

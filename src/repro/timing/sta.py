@@ -10,11 +10,11 @@ boundary conditions of the paper lifted to whole circuits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cells.library import Library
-from repro.netlist.circuit import Circuit
+from repro.netlist.circuit import Circuit, GateInstance
 from repro.netlist.wireload import WireLoadModel
 from repro.timing.delay_model import Edge, gate_delay
 
@@ -66,6 +66,29 @@ def gate_sizes(circuit: Circuit, library: Library) -> Dict[str, float]:
     return sizes
 
 
+def gate_external_load(
+    sinks: Sequence[str],
+    sizes: Mapping[str, float],
+    is_output: bool,
+    output_load_ff: float,
+    wire_model: Optional["WireLoadModel"] = None,
+) -> float:
+    """External load (fF) of one gate output.
+
+    The single-gate kernel shared by :func:`external_loads` and the
+    incremental engine; both must sum the fan-out capacitances in the
+    same (fan-out map) order so their results stay bit-identical.
+    """
+    load = sum(sizes[succ] for succ in sinks)
+    n_sinks = len(sinks)
+    if is_output:
+        load += output_load_ff
+        n_sinks += 1
+    if wire_model is not None:
+        load += wire_model.wire_cap_ff(n_sinks)
+    return load
+
+
 def external_loads(
     circuit: Circuit,
     library: Library,
@@ -84,20 +107,68 @@ def external_loads(
         output_load_ff = 4.0 * library.cref
     if sizes is None:
         sizes = gate_sizes(circuit, library)
-    loads: Dict[str, float] = {}
     fanout = circuit.fanout_map()
     output_set = set(circuit.outputs)
-    for name in circuit.gates:
-        sinks = fanout.get(name, ())
-        load = sum(sizes[succ] for succ in sinks)
-        n_sinks = len(sinks)
-        if name in output_set:
-            load += output_load_ff
-            n_sinks += 1
-        if wire_model is not None:
-            load += wire_model.wire_cap_ff(n_sinks)
-        loads[name] = load
-    return loads
+    return {
+        name: gate_external_load(
+            fanout.get(name, ()), sizes, name in output_set, output_load_ff, wire_model
+        )
+        for name in circuit.gates
+    }
+
+
+def propagate_gate(
+    gate: GateInstance,
+    library: Library,
+    size_ff: float,
+    load_ff: float,
+    arrivals: Mapping[str, Dict[Edge, ArrivalEvent]],
+) -> Dict[Edge, ArrivalEvent]:
+    """Latest arrival events at one gate output from its fan-in arrivals.
+
+    The per-gate propagation kernel of block-based STA, shared verbatim
+    by :func:`analyze` and :class:`~repro.timing.incremental.IncrementalSta`
+    so a cone re-propagation reproduces the full run bit for bit
+    (including the strict ``>`` tie-breaking and dict insertion order).
+    """
+    cell = library.cell(gate.kind)
+    best: Dict[Edge, ArrivalEvent] = {}
+    for source in gate.fanin:
+        for in_edge, event in arrivals[source].items():
+            timing = gate_delay(
+                cell,
+                library.tech,
+                size_ff,
+                load_ff,
+                event.transition_ps,
+                in_edge,
+            )
+            candidate = ArrivalEvent(
+                time_ps=event.time_ps + timing.delay_ps,
+                transition_ps=timing.tout_ps,
+                cause=(source, in_edge),
+            )
+            current = best.get(timing.output_edge)
+            if current is None or candidate.time_ps > current.time_ps:
+                best[timing.output_edge] = candidate
+    return best
+
+
+def critical_endpoint(
+    arrivals: Mapping[str, Dict[Edge, ArrivalEvent]],
+    outputs: Sequence[str],
+) -> Tuple[float, Tuple[str, Edge]]:
+    """Worst arrival over the primary outputs (shared selection kernel)."""
+    critical_time = -1.0
+    critical: Tuple[str, Edge] = ("", Edge.RISE)
+    for net in outputs:
+        for edge, event in arrivals[net].items():
+            if event.time_ps > critical_time:
+                critical_time = event.time_ps
+                critical = (net, edge)
+    if critical_time < 0:
+        raise ValueError("circuit has no timed outputs")
+    return critical_time, critical
 
 
 def analyze(
@@ -123,37 +194,9 @@ def analyze(
 
     for name in circuit.topological_order():
         gate = circuit.gates[name]
-        cell = library.cell(gate.kind)
-        best: Dict[Edge, ArrivalEvent] = {}
-        for source in gate.fanin:
-            for in_edge, event in arrivals[source].items():
-                timing = gate_delay(
-                    cell,
-                    library.tech,
-                    sizes[name],
-                    loads[name],
-                    event.transition_ps,
-                    in_edge,
-                )
-                candidate = ArrivalEvent(
-                    time_ps=event.time_ps + timing.delay_ps,
-                    transition_ps=timing.tout_ps,
-                    cause=(source, in_edge),
-                )
-                current = best.get(timing.output_edge)
-                if current is None or candidate.time_ps > current.time_ps:
-                    best[timing.output_edge] = candidate
-        arrivals[name] = best
+        arrivals[name] = propagate_gate(gate, library, sizes[name], loads[name], arrivals)
 
-    critical_time = -1.0
-    critical: Tuple[str, Edge] = ("", Edge.RISE)
-    for net in circuit.outputs:
-        for edge, event in arrivals[net].items():
-            if event.time_ps > critical_time:
-                critical_time = event.time_ps
-                critical = (net, edge)
-    if critical_time < 0:
-        raise ValueError("circuit has no timed outputs")
+    critical_time, critical = critical_endpoint(arrivals, circuit.outputs)
     return StaResult(
         arrivals=arrivals,
         loads_ff=loads,

@@ -4,8 +4,10 @@ import pytest
 
 import repro.buffering.insertion as insertion
 from repro.api import Job, JobError, Session, circuit_state_key
+from repro.buffering.netlist_insertion import insert_buffer_pair
 from repro.cells.library import default_library
 from repro.iscas.loader import load_benchmark
+from repro.timing.sta import analyze
 
 
 @pytest.fixture()
@@ -85,7 +87,62 @@ class TestStateKeyedCaches:
         session.bounds(Job(benchmark="fpd"))
         session.clear_caches()
         assert session._bounds_cache == {}
+        assert session._engines == {}
         assert session._flimits is None
+
+
+class TestInvalidation:
+    """Mutating a circuit after an analysis can never serve stale state."""
+
+    def test_resized_circuit_gets_fresh_arrivals(self):
+        session = Session()
+        circuit = load_benchmark("fpd")
+        session.sta(circuit)
+        circuit.gates[next(iter(circuit.gates))].cin_ff = 42.0
+        served = session.sta(circuit)
+        fresh = analyze(circuit, session.library)
+        assert served.critical_delay_ps == fresh.critical_delay_ps
+        assert served.arrivals == fresh.arrivals
+        assert served.loads_ff == fresh.loads_ff
+        # ...and the re-sizing was served incrementally, not by full STA.
+        assert session.stats.sta_incremental == 1
+
+    def test_structural_mutation_gets_fresh_engine(self):
+        session = Session()
+        circuit = load_benchmark("fpd")
+        session.sta(circuit)
+        insert_buffer_pair(circuit, next(iter(circuit.gates)), session.library)
+        served = session.sta(circuit)
+        fresh = analyze(circuit, session.library)
+        assert served.arrivals == fresh.arrivals
+        assert session.stats.sta_incremental == 0
+        assert len(session._engines) == 2
+
+    def test_caller_mutations_cannot_corrupt_the_engine(self):
+        """The engine snapshots the circuit; later edits don't leak in."""
+        session = Session()
+        circuit = load_benchmark("fpd")
+        first = session.sta(circuit)
+        reference = analyze(circuit, session.library)
+        # Mutate without telling the session, then hand in a pristine copy.
+        pristine = load_benchmark("fpd")
+        circuit.gates[next(iter(circuit.gates))].cin_ff = 3.21
+        session.sta(circuit)
+        served = session.sta(pristine)
+        assert served.arrivals == reference.arrivals
+        assert first.arrivals == reference.arrivals
+
+    def test_incremental_misses_stay_bit_identical_over_a_sweep(self):
+        session = Session()
+        circuit = load_benchmark("fpd")
+        names = list(circuit.gates)
+        for step, scale in enumerate((0.5, 1.5, 3.0, 0.8)):
+            gate = circuit.gates[names[step]]
+            gate.cin_ff = scale * 4.0
+            served = session.sta(circuit)
+            fresh = analyze(circuit, session.library)
+            assert served.arrivals == fresh.arrivals, f"step={step}"
+        assert session.stats.sta_incremental == 3
 
 
 class TestJobPlumbing:

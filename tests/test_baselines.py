@@ -7,7 +7,7 @@ from repro.baselines.amps import amps_distribute_constraint, amps_minimum_delay
 from repro.baselines.sutherland import sutherland_distribute
 from repro.sizing.bounds import delay_bounds
 from repro.sizing.sensitivity import distribute_constraint
-from repro.timing.evaluation import evaluate_path, path_delay_ps
+from repro.timing.evaluation import evaluate_path
 
 
 class TestAmpsMinimumDelay:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cells.gate_types import GateKind
 from repro.iscas.loader import load_benchmark
-from repro.netlist.builders import gate_chain, ripple_carry_adder
+from repro.netlist.builders import ripple_carry_adder
 from repro.netlist.circuit import Circuit
 from repro.timing.critical_paths import (
     apply_path_sizes,

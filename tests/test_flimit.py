@@ -1,6 +1,5 @@
 """Tests for the Flimit buffer-insertion metric (Table 2)."""
 
-import math
 
 import pytest
 

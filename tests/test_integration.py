@@ -1,11 +1,9 @@
 """Cross-module integration tests: the paper's flows end to end."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.amps import amps_distribute_constraint, amps_minimum_delay
 from repro.buffering.insertion import default_flimits, min_delay_with_buffers
-from repro.cells.library import default_library
 from repro.iscas.loader import load_benchmark
 from repro.protocol.domains import ConstraintDomain
 from repro.protocol.optimizer import optimize_path

@@ -1,12 +1,11 @@
 """Tests for netlist-level (polarity-preserving) buffer insertion."""
 
-import numpy as np
 import pytest
 
 from repro.buffering.netlist_insertion import insert_buffer_pair
 from repro.cells.gate_types import GateKind
 from repro.netlist.builders import ripple_carry_adder
-from repro.netlist.circuit import Circuit, equivalent, exhaustive_vectors
+from repro.netlist.circuit import Circuit, exhaustive_vectors
 
 
 @pytest.fixture()

@@ -1,6 +1,5 @@
 """Tests for the constraint domains and the Fig. 7 protocol driver."""
 
-import numpy as np
 import pytest
 
 from repro.cells.gate_types import GateKind

@@ -1,6 +1,5 @@
 """Cross-validation of the closed-form engines against scipy L-BFGS-B."""
 
-import numpy as np
 import pytest
 
 from repro.cells.gate_types import GateKind

@@ -10,7 +10,7 @@ from repro.sizing.sensitivity import (
     sensitivity_sweep,
     solve_sensitivity,
 )
-from repro.timing.evaluation import delay_gradient, path_area_um, path_delay_ps
+from repro.timing.evaluation import path_area_um, path_delay_ps
 from repro.timing.path import make_path
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.variation import (
-    DelayDistribution,
     VariationSpec,
     delay_distribution,
     perturbed_technology,
