@@ -1,0 +1,115 @@
+"""Warm-started Tc sweeps vs cold independent jobs (the ISSUE 3 bar).
+
+A sweep's constraint points share everything that does not depend on
+``Tc``: characterisation, benchmark parsing, delay bounds, first-pass
+extractions, eq. 4 fixed points, and the incremental STA engine (seeded
+from the nearest already-solved neighbour).  This bench runs the same
+20-point grid both ways, asserts the record payloads are *byte
+identical* (warm starting is a cost optimization, never a result
+change), and asserts the >= 2x wall-clock bar on a CORE circuit.
+
+A small warm-sweep kernel also feeds the CI perf gate
+(``compare_bench.py`` against ``BENCH_BASELINE.json``).
+"""
+
+import json
+import time
+
+from repro.api import Session, SweepSpec
+from repro.explore import run_sweep
+from repro.protocol.report import format_table
+
+from conftest import emit
+
+#: The acceptance grid: 20 constraint points on one CORE circuit.
+SWEEP_BENCH = "c432"
+SWEEP_RATIOS = tuple(round(1.05 + 0.05 * i, 4) for i in range(20))
+
+
+def _payload_bytes(record) -> bytes:
+    return json.dumps(
+        record.to_dict(with_timing=False), sort_keys=True
+    ).encode("utf-8")
+
+
+def test_warm_sweep_2x_faster_and_byte_identical(lib, limits):
+    spec = SweepSpec(
+        benchmarks=(SWEEP_BENCH,),
+        tc_ratio_points=SWEEP_RATIOS,
+        k_paths=2,
+        max_passes=2,
+    )
+    jobs = spec.jobs()
+
+    # Cold: 20 independent jobs, each in its own fresh session (the
+    # library object is shared, so characterisation -- already paid by
+    # the fixture -- is excluded from both sides).
+    start = time.perf_counter()
+    cold = [Session(library=lib).optimize(job) for job in jobs]
+    t_cold = time.perf_counter() - start
+
+    # Warm: one campaign through one session.
+    start = time.perf_counter()
+    warm = run_sweep(Session(library=lib), spec, with_power=False)
+    t_warm = time.perf_counter() - start
+
+    for a, b in zip(warm.records, cold):
+        assert _payload_bytes(a) == _payload_bytes(b)
+
+    speedup = t_cold / t_warm
+    rows = [
+        ("cold (20 independent jobs)", f"{t_cold:.2f}", "1.0x"),
+        ("warm (one campaign)", f"{t_warm:.2f}", f"{speedup:.2f}x"),
+    ]
+    emit(
+        f"Tc sweep -- 20 points on {SWEEP_BENCH}, warm vs cold "
+        "(byte-identical payloads)",
+        format_table(("mode", "wall (s)", "speedup"), rows),
+    )
+    assert speedup >= 2.0, f"warm sweep only {speedup:.2f}x faster"
+
+
+def test_sweep_resume_skips_completed_points(lib, tmp_path):
+    spec = SweepSpec(
+        benchmarks=("fpd",),
+        tc_ratio_points=(1.2, 1.5, 1.8),
+        k_paths=2,
+        max_passes=2,
+    )
+    store = str(tmp_path / "campaign")
+    session = Session(library=lib)
+    first = run_sweep(session, spec, store=store)
+    assert first.computed == 3
+
+    start = time.perf_counter()
+    again = run_sweep(session, spec, store=store, resume=True)
+    t_resume = time.perf_counter() - start
+    assert again.computed == 0
+    assert again.resumed == 3
+    for a, b in zip(first.records, again.records):
+        assert _payload_bytes(a) == _payload_bytes(b)
+    # Resume replays the optimize records from the journal (the summary's
+    # power column is recomputed -- deterministic and cheap next to the
+    # optimizations themselves), so it must beat the original run.
+    assert t_resume < first.elapsed_s
+
+
+# -- CI perf-gate kernel ----------------------------------------------
+
+
+def test_kernel_warm_sweep_fpd(benchmark, lib, limits):
+    """Warm 5-point sweep on the 60-gate paper example (gate kernel)."""
+    spec = SweepSpec(
+        benchmarks=("fpd",),
+        tc_ratio_points=(1.1, 1.3, 1.5, 1.7, 1.9),
+        k_paths=2,
+        max_passes=2,
+    )
+
+    def sweep():
+        return run_sweep(
+            Session(library=lib), spec, with_power=False
+        )
+
+    result = benchmark(sweep)
+    assert len(result.records) == 5

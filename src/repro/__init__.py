@@ -23,12 +23,13 @@ Domain layers (see README for a tour):
 * :mod:`repro.buffering`      -- Flimit metric, buffer insertion
 * :mod:`repro.restructuring`  -- De Morgan logic transformation
 * :mod:`repro.protocol`       -- the Fig. 7 optimization protocol
+* :mod:`repro.explore`        -- Tc-sweep campaigns, Pareto frontiers
 * :mod:`repro.baselines`      -- AMPS-like industrial-tool surrogate
 * :mod:`repro.spice`          -- transistor-level reference simulator
 * :mod:`repro.analysis`       -- area / power / activity analysis
 """
 
-from repro.api import Job, JobError, RunRecord, Session, SessionStats
+from repro.api import Job, JobError, RunRecord, Session, SessionStats, SweepSpec
 from repro.cells.library import Library, default_library
 from repro.iscas.loader import benchmark_names, load_benchmark
 from repro.netlist.circuit import Circuit
@@ -39,6 +40,7 @@ __all__ = [
     "__version__",
     "Job",
     "JobError",
+    "SweepSpec",
     "RunRecord",
     "Session",
     "SessionStats",

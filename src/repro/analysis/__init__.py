@@ -6,6 +6,7 @@ from repro.analysis.area import (
     circuit_area_um,
     total_input_capacitance_ff,
 )
+from repro.analysis.pareto import dominates, pareto_indices
 from repro.analysis.power import PowerReport, estimate_power
 from repro.analysis.variation import (
     DelayDistribution,
@@ -22,6 +23,8 @@ __all__ = [
     "estimate_activity",
     "PowerReport",
     "estimate_power",
+    "dominates",
+    "pareto_indices",
     "VariationSpec",
     "DelayDistribution",
     "delay_distribution",

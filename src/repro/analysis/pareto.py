@@ -1,0 +1,59 @@
+"""Pareto-dominance utilities for multi-objective result sets.
+
+The paper reads every technique comparison off curves over the
+constraint axis -- delay bounds (Fig. 1), area vs ``Tc`` (Figs. 4/8),
+the constraint-domain map (Fig. 6).  A sweep produces the raw points;
+this module supplies the dominance filter that turns them into the
+delay/area/power trade-off frontier the curves are drawn from.
+
+All objectives are minimized.  ``None`` objective values mean "metric
+not available for this point" and are treated as incomparable on that
+objective (neither better nor worse), so mixed campaigns -- e.g. path
+jobs without a power model -- still get a well-defined frontier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+#: One point's objective vector; ``None`` marks an unavailable metric.
+Objectives = Sequence[Optional[float]]
+
+
+def dominates(first: Objectives, second: Objectives) -> bool:
+    """Whether ``first`` Pareto-dominates ``second`` (all minimized).
+
+    Requires: no worse on every comparable objective, strictly better on
+    at least one.  Objectives where either side is ``None`` are skipped;
+    if nothing is comparable, neither point dominates.
+    """
+    if len(first) != len(second):
+        raise ValueError("objective vectors must have equal length")
+    no_worse = True
+    strictly_better = False
+    for a, b in zip(first, second):
+        if a is None or b is None:
+            continue
+        if a > b:
+            no_worse = False
+            break
+        if a < b:
+            strictly_better = True
+    return no_worse and strictly_better
+
+
+def pareto_indices(points: Sequence[Objectives]) -> List[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Deterministic: ties (duplicate objective vectors) all survive, so
+    re-running a sweep can never flip which points are "on" the
+    frontier.  Quadratic in the number of points -- sweeps are hundreds
+    of points, not millions.
+    """
+    survivors: List[int] = []
+    for i, candidate in enumerate(points):
+        if not any(
+            dominates(points[j], candidate) for j in range(len(points)) if j != i
+        ):
+            survivors.append(i)
+    return survivors

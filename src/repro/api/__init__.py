@@ -15,13 +15,14 @@ critical-path extraction and delay bounds; ``Session.optimize_many``
 fans a campaign out over worker processes with a serial fallback.
 """
 
-from repro.api.job import SCOPES, WEIGHT_MODES, Job, JobError
+from repro.api.job import SCOPES, WEIGHT_MODES, Job, JobError, SweepSpec
 from repro.api.records import (
     KIND_BOUNDS,
     KIND_CHARACTERIZE,
     KIND_OPTIMIZE_CIRCUIT,
     KIND_OPTIMIZE_PATH,
     KIND_POWER,
+    KIND_SWEEP,
     KINDS,
     RecordError,
     RunRecord,
@@ -36,6 +37,7 @@ from repro.api.session import (
 __all__ = [
     "Job",
     "JobError",
+    "SweepSpec",
     "SCOPES",
     "WEIGHT_MODES",
     "RunRecord",
@@ -46,6 +48,7 @@ __all__ = [
     "KIND_BOUNDS",
     "KIND_POWER",
     "KIND_CHARACTERIZE",
+    "KIND_SWEEP",
     "Session",
     "SessionStats",
     "circuit_state_key",

@@ -12,7 +12,7 @@ echoed verbatim inside the :class:`~repro.api.records.RunRecord` it produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.netlist.circuit import Circuit
 
@@ -156,4 +156,195 @@ class Job:
             raise JobError(f"unknown job fields: {sorted(unknown)}")
         if payload.get("circuit") is not None:
             payload["circuit"] = circuit_from_dict(payload["circuit"])
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative scenario grid: the campaign-level job kind.
+
+    A sweep names a set of benchmarks, a set of constraint points
+    (absolute picoseconds or multiples of each benchmark's critical-path
+    ``Tmin``) and the protocol-knob axes to cross them with.  Expanding
+    the spec yields one :class:`Job` per grid point with a deterministic,
+    unique ``label`` -- the identity the campaign store keys resumption
+    on and run records echo back.
+
+    Attributes
+    ----------
+    benchmarks:
+        Registered benchmark names, swept in the given order.
+    tc_ps_points / tc_ratio_points:
+        Exactly one must be non-empty: the constraint axis, absolute or
+        ``Tmin``-relative.  Points are run sorted ascending within each
+        benchmark so every point's nearest already-solved neighbour is
+        its predecessor (the warm-start seed).
+    scope / k_paths / max_passes / weight_modes / restructuring:
+        Protocol knobs; ``weight_modes`` and ``restructuring`` are axes
+        (every combination is a grid point), the rest are shared.
+    bench_dir:
+        Optional directory of real ``.bench`` netlists.
+    label:
+        Optional campaign tag, prefixed onto every point label.
+    """
+
+    benchmarks: Tuple[str, ...] = ()
+    tc_ps_points: Tuple[float, ...] = ()
+    tc_ratio_points: Tuple[float, ...] = ()
+    scope: str = "circuit"
+    k_paths: int = 4
+    max_passes: int = 6
+    weight_modes: Tuple[str, ...] = ("uniform",)
+    restructuring: Tuple[bool, ...] = (True,)
+    bench_dir: Optional[str] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Tolerate lists from JSON / CLI call sites.
+        for name in (
+            "benchmarks",
+            "tc_ps_points",
+            "tc_ratio_points",
+            "weight_modes",
+            "restructuring",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if not self.benchmarks:
+            raise JobError("sweep needs at least one benchmark")
+        if not all(isinstance(b, str) and b for b in self.benchmarks):
+            raise JobError(f"benchmarks must be names, got {self.benchmarks!r}")
+        if len(set(self.benchmarks)) != len(self.benchmarks):
+            raise JobError("duplicate benchmark in sweep")
+        if bool(self.tc_ps_points) == bool(self.tc_ratio_points):
+            raise JobError(
+                "give exactly one of 'tc_ps_points' and 'tc_ratio_points'"
+            )
+        points = self.tc_ps_points or self.tc_ratio_points
+        if any(p <= 0 for p in points):
+            raise JobError(f"constraint points must be positive, got {points}")
+        if len(set(points)) != len(points):
+            raise JobError("duplicate constraint point in sweep")
+        # Point labels render the constraint with %g; two points that
+        # collapse to the same rendering would share a label -- and the
+        # label is the resume/record identity, so a collision would
+        # silently serve one point's result for both.
+        rendered = {f"{p:g}" for p in points}
+        if len(rendered) != len(points):
+            raise JobError(
+                "constraint points collide at label precision (%g formats "
+                f"{sorted(points)} to {sorted(rendered)}); space them further apart"
+            )
+        if self.scope not in SCOPES:
+            raise JobError(f"scope must be one of {SCOPES}, got {self.scope!r}")
+        if self.k_paths < 1:
+            raise JobError(f"k_paths must be >= 1, got {self.k_paths}")
+        if self.max_passes < 1:
+            raise JobError(f"max_passes must be >= 1, got {self.max_passes}")
+        if not self.weight_modes:
+            raise JobError("sweep needs at least one weight mode")
+        for mode in self.weight_modes:
+            if mode not in WEIGHT_MODES:
+                raise JobError(
+                    f"weight_mode must be one of {WEIGHT_MODES}, got {mode!r}"
+                )
+        if len(set(self.weight_modes)) != len(self.weight_modes):
+            raise JobError("duplicate weight mode in sweep")
+        if not self.restructuring:
+            raise JobError("sweep needs at least one restructuring setting")
+        if len(set(self.restructuring)) != len(self.restructuring):
+            raise JobError("duplicate restructuring setting in sweep")
+
+    # -- derived -------------------------------------------------------
+
+    @property
+    def relative(self) -> bool:
+        """Whether the constraint axis is ``Tmin``-relative."""
+        return bool(self.tc_ratio_points)
+
+    @property
+    def points(self) -> Tuple[float, ...]:
+        """The constraint axis, sorted ascending (warm-start order)."""
+        return tuple(sorted(self.tc_ps_points or self.tc_ratio_points))
+
+    @property
+    def point_count(self) -> int:
+        """Number of grid points the sweep expands to."""
+        return (
+            len(self.benchmarks)
+            * len(self.points)
+            * len(self.weight_modes)
+            * len(self.restructuring)
+        )
+
+    def point_label(
+        self, benchmark: str, tc: float, weight_mode: str, restructure: bool
+    ) -> str:
+        """The deterministic identity of one grid point."""
+        axis = "r" if self.relative else "ps"
+        parts = [
+            benchmark,
+            f"{axis}{tc:g}",
+            weight_mode,
+            "dm" if restructure else "nodm",
+        ]
+        prefix = f"{self.label}:" if self.label else ""
+        return prefix + "/".join(parts)
+
+    def jobs(self) -> List[Job]:
+        """Expand the grid to concrete jobs, warm-start order.
+
+        Points of one benchmark are contiguous and sorted by constraint
+        within each (weight mode, restructuring) combination, so a
+        runner that walks the list in order always has the nearest
+        already-solved neighbour immediately behind it.
+        """
+        out: List[Job] = []
+        for benchmark in self.benchmarks:
+            for weight_mode in self.weight_modes:
+                for restructure in self.restructuring:
+                    for tc in self.points:
+                        out.append(
+                            Job(
+                                benchmark=benchmark,
+                                bench_dir=self.bench_dir,
+                                tc_ps=tc if not self.relative else None,
+                                tc_ratio=tc if self.relative else None,
+                                scope=self.scope,
+                                k_paths=self.k_paths,
+                                max_passes=self.max_passes,
+                                weight_mode=weight_mode,
+                                allow_restructuring=restructure,
+                                label=self.point_label(
+                                    benchmark, tc, weight_mode, restructure
+                                ),
+                            )
+                        )
+        return out
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (tuples become lists)."""
+        return {
+            "benchmarks": list(self.benchmarks),
+            "tc_ps_points": list(self.tc_ps_points),
+            "tc_ratio_points": list(self.tc_ratio_points),
+            "scope": self.scope,
+            "k_paths": self.k_paths,
+            "max_passes": self.max_passes,
+            "weight_modes": list(self.weight_modes),
+            "restructuring": list(self.restructuring),
+            "bench_dir": self.bench_dir,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        payload = dict(data)
+        unknown = set(payload) - {f.name for f in fields(cls)}
+        if unknown:
+            raise JobError(f"unknown sweep fields: {sorted(unknown)}")
         return cls(**payload)

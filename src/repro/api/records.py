@@ -37,6 +37,11 @@ KIND_OPTIMIZE_CIRCUIT = "optimize-circuit"
 KIND_BOUNDS = "bounds"
 KIND_POWER = "power"
 KIND_CHARACTERIZE = "characterize"
+#: Campaign summary: spec echo + per-point metrics + Pareto frontier.
+#: The payload is already JSON-native (built by ``repro.explore``), so it
+#: round-trips verbatim; the per-point full records live in the campaign
+#: store, not in this envelope.
+KIND_SWEEP = "sweep"
 
 KINDS = (
     KIND_OPTIMIZE_PATH,
@@ -44,6 +49,7 @@ KINDS = (
     KIND_BOUNDS,
     KIND_POWER,
     KIND_CHARACTERIZE,
+    KIND_SWEEP,
 )
 
 
@@ -100,6 +106,8 @@ class RunRecord:
             }
         if self.kind == KIND_POWER:
             return power_to_dict(self.payload)
+        if self.kind == KIND_SWEEP:
+            return dict(self.payload)
         return flimit_entries_to_list(self.payload)
 
     def to_dict(self, with_timing: bool = True) -> Dict[str, Any]:
@@ -156,6 +164,8 @@ class RunRecord:
             }
         elif kind == KIND_POWER:
             payload = power_from_dict(raw_payload)
+        elif kind == KIND_SWEEP:
+            payload = dict(raw_payload)
         else:
             payload = flimit_entries_from_list(raw_payload)
         timing = data.get("timing") or {}

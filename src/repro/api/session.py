@@ -48,7 +48,7 @@ from repro.cells.library import Library, default_library
 from repro.iscas.loader import load_benchmark
 from repro.netlist.circuit import Circuit
 from repro.process.technology import Technology
-from repro.protocol.optimizer import optimize_circuit, optimize_path
+from repro.protocol.optimizer import WarmStart, optimize_circuit, optimize_path
 from repro.sizing.bounds import DelayBounds, delay_bounds
 from repro.timing.critical_paths import ExtractedPath, critical_path
 from repro.timing.incremental import IncrementalSta
@@ -88,15 +88,7 @@ def circuit_state_key(circuit: Circuit) -> StateKey:
     cached simply presents a new key and gets a fresh analysis (see the
     session-invalidation tests).
     """
-    return (
-        circuit.name,
-        tuple(circuit.inputs),
-        tuple(circuit.outputs),
-        tuple(
-            (gate.name, gate.kind.value, gate.fanin, gate.cin_ff)
-            for gate in circuit.gates.values()
-        ),
-    )
+    return circuit.state_key()
 
 
 def circuit_structure_key(circuit: Circuit) -> StateKey:
@@ -106,15 +98,7 @@ def circuit_structure_key(circuit: Circuit) -> StateKey:
     ``cin_ff`` values -- exactly the precondition for re-timing one from
     the other with an incremental cone update instead of a full STA.
     """
-    return (
-        circuit.name,
-        tuple(circuit.inputs),
-        tuple(circuit.outputs),
-        tuple(
-            (gate.name, gate.kind.value, gate.fanin)
-            for gate in circuit.gates.values()
-        ),
-    )
+    return circuit.structure_key()
 
 
 class Session:
@@ -171,10 +155,9 @@ class Session:
         table for this library instance (e.g. a sibling session built it).
         """
         if self._flimits is None:
-            from repro.buffering.insertion import _FLIMIT_CACHE
+            from repro.buffering.insertion import flimit_cache_contains
 
-            entry = _FLIMIT_CACHE.get(id(self._library))
-            if entry is None or entry[0]() is not self._library:
+            if not flimit_cache_contains(self._library):
                 self.stats.characterizations += 1
             self._flimits = default_flimits(self._library)
         return self._flimits
@@ -323,8 +306,14 @@ class Session:
             created_unix=time.time(),
         )
 
-    def optimize(self, job: Job) -> RunRecord:
-        """Run the Fig. 7 protocol for one job (path or circuit scope)."""
+    def optimize(self, job: Job, warm: Optional[WarmStart] = None) -> RunRecord:
+        """Run the Fig. 7 protocol for one job (path or circuit scope).
+
+        ``warm`` threads a sweep's carry-over state (neighbour-seeded
+        incremental engine plus pure-function memos) into the circuit
+        driver; payloads are byte-identical with or without it (see
+        :class:`~repro.protocol.optimizer.WarmStart`).
+        """
         started = time.perf_counter()
         self.stats.jobs_run += 1
         circuit = self.resolve_circuit(job)
@@ -360,6 +349,7 @@ class Session:
                 limits=limits,
                 weight_mode=job.weight_mode,
                 allow_restructuring=job.allow_restructuring,
+                warm=warm,
             )
             kind = KIND_OPTIMIZE_CIRCUIT
             extra = {
@@ -426,7 +416,7 @@ class Session:
         if workers and workers > 1 and len(job_list) > 1:
             try:
                 return self._optimize_parallel(job_list, workers)
-            except _POOL_ERRORS:
+            except POOL_ERRORS:
                 # Process pools need working semaphores / fork support;
                 # restricted environments (sandboxes, some CI runners)
                 # deny them -- the serial path is always available.  Job
@@ -445,18 +435,38 @@ class Session:
         with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
             outcomes = list(pool.map(_optimize_job_worker, tasks))
         for outcome in outcomes:
-            if _JOB_ERROR_KEY in outcome:
-                raise outcome[_JOB_ERROR_KEY]
+            if JOB_ERROR_KEY in outcome:
+                raise outcome[JOB_ERROR_KEY]
         self.stats.jobs_run += len(jobs)
         return [RunRecord.from_dict(d, library=self._library) for d in outcomes]
 
 
 #: Sentinel key a worker uses to marshal a job failure back to the parent
 #: (so pool-infrastructure errors stay distinguishable from job errors).
-_JOB_ERROR_KEY = "__pops_job_error__"
+#: Shared by every process-pool runner over sessions (the batch runner
+#: here and the sweep runner in :mod:`repro.explore`).
+JOB_ERROR_KEY = "__pops_job_error__"
 
 #: Pool-infrastructure failures that trigger the serial fallback.
-_POOL_ERRORS: Tuple[type, ...] = (OSError, ImportError, BrokenProcessPool)
+POOL_ERRORS: Tuple[type, ...] = (OSError, ImportError, BrokenProcessPool)
+
+# Backwards-compatible private aliases (pre-explore spelling).
+_JOB_ERROR_KEY = JOB_ERROR_KEY
+_POOL_ERRORS = POOL_ERRORS
+
+
+def worker_session(
+    library: Library, limits: Dict, bench_dir: Optional[str]
+) -> Session:
+    """A fresh worker-side session seeded with the parent's Flimit table.
+
+    The one supported way for pool workers to avoid re-characterising:
+    the parent ships its (already computed) limits along with the
+    library, and the worker session starts with them installed.
+    """
+    session = Session(library=library, bench_dir=bench_dir)
+    session._flimits = limits
+    return session
 
 
 def _optimize_job_worker(task: Tuple[Library, Dict, Optional[str], Dict]) -> Dict:
@@ -469,9 +479,8 @@ def _optimize_job_worker(task: Tuple[Library, Dict, Optional[str], Dict]) -> Dic
     tell them apart from pool breakage.
     """
     library, limits, bench_dir, job_dict = task
-    session = Session(library=library, bench_dir=bench_dir)
-    session._flimits = limits
+    session = worker_session(library, limits, bench_dir)
     try:
         return session.optimize(Job.from_dict(job_dict)).to_dict()
     except Exception as exc:
-        return {_JOB_ERROR_KEY: exc}
+        return {JOB_ERROR_KEY: exc}

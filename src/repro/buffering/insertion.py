@@ -110,6 +110,20 @@ def default_flimits(
     return limits
 
 
+def flimit_cache_contains(library: Library) -> bool:
+    """Whether :func:`default_flimits` would be served from the cache.
+
+    The cache is keyed by ``id(library)`` (libraries are unhashable), so
+    a raw key probe can be fooled by id reuse after another library was
+    garbage-collected; this helper also checks the stored weak reference,
+    making it the one supported way for callers (e.g. the Session
+    facade's characterisation counter) to ask about cache residency
+    without reaching into the private table.
+    """
+    entry = _FLIMIT_CACHE.get(id(library))
+    return entry is not None and entry[0]() is library
+
+
 def overloaded_stages(
     path: BoundedPath,
     sizes: np.ndarray,

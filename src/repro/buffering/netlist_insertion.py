@@ -97,18 +97,25 @@ def trial_buffer_pairs(
     Each candidate is inserted, re-timed incrementally (structure
     refresh plus the pair's fan-out cone -- not a full STA) and undone
     before the next trial, so the circuit and the engine leave exactly
-    as they arrived.  Returns ``candidate -> critical delay (ps)``.
+    as they arrived -- *including* when a re-timing or removal raises
+    mid-trial: the in-flight pair is unwound and the engine re-synced
+    before the exception propagates.  Returns ``candidate -> critical
+    delay (ps)``.
     """
     if engine is None:
         engine = IncrementalSta(circuit, library)
     elif engine.circuit is not circuit:
         raise ValueError("engine must track the probed circuit")
     delays: Dict[str, float] = {}
-    for name in candidates:
-        insert_buffer_pair(circuit, name, library, cin_ff=cin_ff)
-        delays[name] = engine.refresh_structure().critical_delay_ps
-        remove_buffer_pair(circuit, name)
-    engine.refresh_structure()
+    try:
+        for name in candidates:
+            insert_buffer_pair(circuit, name, library, cin_ff=cin_ff)
+            try:
+                delays[name] = engine.refresh_structure().critical_delay_ps
+            finally:
+                remove_buffer_pair(circuit, name)
+    finally:
+        engine.refresh_structure()
     return delays
 
 

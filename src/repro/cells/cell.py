@@ -124,8 +124,19 @@ class Cell:
         return self.p_intrinsic * cin_ff
 
     def cin_min(self, tech: Technology) -> float:
-        """Minimum available drive: per-input C_IN at minimum widths (fF)."""
-        return tech.cin_for_width(tech.w_min_um * (1.0 + self.k_ratio))
+        """Minimum available drive: per-input C_IN at minimum widths (fF).
+
+        Cached per instance (the eq. 4/6 sweeps ask for it every stage
+        of every Gauss-Seidel iteration); the stored technology reference
+        pins the key's identity, so the slot can never serve a value for
+        a recycled technology object.
+        """
+        entry = self.__dict__.get("_cin_min_entry")
+        if entry is not None and entry[0] is tech:
+            return entry[1]
+        value = tech.cin_for_width(tech.w_min_um * (1.0 + self.k_ratio))
+        object.__setattr__(self, "_cin_min_entry", (tech, value))
+        return value
 
     def total_width_um(self, cin_ff: float, tech: Technology) -> float:
         """Total transistor width (um) of the gate at drive ``cin_ff``.

@@ -7,6 +7,7 @@ Subcommands mirror the protocol steps:
 * ``pops optimize <benchmark>``     -- run the Fig. 7 protocol at a Tc
 * ``pops report <benchmark>``       -- STA timing report
 * ``pops power <benchmark>``        -- area / activity / power report
+* ``pops sweep <benchmark...>``     -- Tc-sweep campaign + Pareto frontier
 * ``pops benchmarks``               -- list the registered circuits
 
 Every analysis subcommand accepts ``--json`` to emit the run record as a
@@ -22,8 +23,37 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
-from repro.api import Job, Session
+from repro.api import Job, Session, SweepSpec
 from repro.protocol.report import format_table
+
+
+def _parse_points(text: str) -> List[float]:
+    """Parse a constraint axis: ``"1.1,1.3,1.7"`` or ``"1.1:2.0:10"``.
+
+    The colon form is an inclusive linear range ``start:stop:count``.
+    """
+    text = text.strip()
+    if ":" in text:
+        fields = text.split(":")
+        if len(fields) != 3:
+            raise argparse.ArgumentTypeError(
+                f"range must be start:stop:count, got {text!r}"
+            )
+        start, stop = float(fields[0]), float(fields[1])
+        count = int(fields[2])
+        if count < 1:
+            raise argparse.ArgumentTypeError("range count must be >= 1")
+        if count == 1:
+            return [start]
+        step = (stop - start) / (count - 1)
+        return [start + i * step for i in range(count)]
+    try:
+        points = [float(p) for p in text.split(",") if p.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad constraint list {text!r}") from None
+    if not points:
+        raise argparse.ArgumentTypeError("constraint list is empty")
+    return points
 
 
 def _session(args: argparse.Namespace) -> Session:
@@ -195,6 +225,59 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.explore import run_sweep
+
+    restructuring = {
+        "on": (True,),
+        "off": (False,),
+        "both": (True, False),
+    }[args.restructure]
+    spec = SweepSpec(
+        benchmarks=tuple(args.benchmarks),
+        tc_ps_points=tuple(args.tc_ps or ()),
+        tc_ratio_points=tuple(args.tc_ratios or ()) if not args.tc_ps else (),
+        scope=args.scope,
+        k_paths=args.k_paths,
+        max_passes=args.max_passes,
+        weight_modes=tuple(args.weight_modes.split(",")),
+        restructuring=restructuring,
+        bench_dir=args.bench_dir,
+        label=args.label,
+    )
+    if args.resume and args.store is None:
+        print("error: --resume requires --store", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int, label: str) -> None:
+        print(f"[{done}/{total}] {label}", file=sys.stderr)
+
+    result = run_sweep(
+        _session(args),
+        spec,
+        store=args.store,
+        resume=args.resume,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        with_power=not args.no_power,
+        progress=progress if not args.quiet else None,
+    )
+    if getattr(args, "json", False):
+        print(result.record().to_json(indent=2))
+        return 0
+    print(result.summary.format())
+    frontier = result.summary.frontier_labels()
+    print(
+        f"\npoints      : {len(result.records)} "
+        f"({result.computed} computed, {result.resumed} resumed)"
+    )
+    print(f"pareto      : {len(frontier)} point(s) on the frontier")
+    print(f"elapsed     : {result.elapsed_s:.2f} s")
+    if args.store is not None:
+        print(f"campaign    : {args.store}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``pops`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -255,6 +338,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_opt.add_argument("--json", action="store_true", help="emit the run record")
 
+    p_sweep = sub.add_parser(
+        "sweep", help="Tc-sweep campaign with Pareto frontier extraction"
+    )
+    p_sweep.add_argument(
+        "benchmarks", nargs="+", help="benchmark names (see 'benchmarks')"
+    )
+    p_sweep.add_argument("--bench-dir", default=None, help="real .bench directory")
+    sweep_axis = p_sweep.add_mutually_exclusive_group()
+    sweep_axis.add_argument(
+        "--tc-ratios",
+        type=_parse_points,
+        default=[1.1, 1.4, 1.7, 2.0],
+        help="Tc axis as multiples of Tmin: '1.1,1.5' or '1.1:2.0:10' "
+        "(default 1.1,1.4,1.7,2.0)",
+    )
+    sweep_axis.add_argument(
+        "--tc-ps",
+        type=_parse_points,
+        default=None,
+        help="absolute Tc axis in ps, same list/range syntax",
+    )
+    p_sweep.add_argument(
+        "--scope",
+        choices=("circuit", "path"),
+        default="circuit",
+        help="protocol scope per grid point (default circuit)",
+    )
+    p_sweep.add_argument(
+        "--k-paths", type=int, default=4, help="paths per circuit-scope pass"
+    )
+    p_sweep.add_argument(
+        "--max-passes", type=int, default=6, help="circuit-scope pass limit"
+    )
+    p_sweep.add_argument(
+        "--weight-modes",
+        default="uniform",
+        help="comma list of sizing weight modes to cross (uniform,area)",
+    )
+    p_sweep.add_argument(
+        "--restructure",
+        choices=("on", "off", "both"),
+        default="on",
+        help="De Morgan fallback axis (default on)",
+    )
+    p_sweep.add_argument(
+        "--label", default=None, help="campaign tag prefixed onto point labels"
+    )
+    p_sweep.add_argument(
+        "--store", default=None, help="campaign directory (JSONL journal)"
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already journaled in --store",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=None, help="process-pool fan-out"
+    )
+    p_sweep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="split a benchmark's points into warm chunks of this size",
+    )
+    p_sweep.add_argument(
+        "--no-power",
+        action="store_true",
+        help="skip the power objective in the summary",
+    )
+    p_sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress"
+    )
+    p_sweep.add_argument("--json", action="store_true", help="emit the sweep record")
+
     p_report = sub.add_parser("report", help="STA timing report")
     p_report.add_argument("benchmark")
     p_report.add_argument("--bench-dir", default=None)
@@ -281,14 +438,23 @@ _COMMANDS = {
     "optimize": _cmd_optimize,
     "report": _cmd_report,
     "power": _cmd_power,
+    "sweep": _cmd_sweep,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    from repro.api import JobError
+    from repro.explore import CampaignError
+
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except (JobError, CampaignError) as exc:
+        # Designed user-facing failures (bad spec, campaign reuse without
+        # --resume, spec mismatch): a clean message, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Downstream consumer (head, jq -e ...) closed the pipe early;
         # silence the shutdown traceback and exit with the SIGPIPE code.

@@ -1,0 +1,365 @@
+"""The campaign runner: warm-started, chunked, resumable sweeps.
+
+``run_sweep`` walks a :class:`~repro.api.job.SweepSpec` grid through a
+:class:`~repro.api.session.Session` and returns every per-point record
+plus the Pareto summary.  Three mechanisms make a 20-point sweep cost
+far less than 20 independent jobs, none of which may change a single
+payload byte (the determinism tests compare warm against cold runs):
+
+* the session's own memoization -- characterisation, benchmark parsing,
+  bounds and extraction of the shared starting state are paid once;
+* a :class:`~repro.protocol.optimizer.WarmStart` per benchmark group --
+  each constraint point seeds its incremental STA engine from the
+  nearest already-solved neighbour (its predecessor in the sorted
+  grid) and shares the pure-function ``Tmin``/extraction memos;
+* a chunked scheduler -- benchmark groups are independent, so they can
+  fan out over the same process-pool machinery as
+  :meth:`~repro.api.session.Session.optimize_many`, one warm chunk per
+  worker, with the identical serial fallback and byte-identical
+  payload guarantee.
+
+With a :class:`~repro.explore.store.CampaignStore`, every completed
+point is journaled immediately and ``resume=True`` serves journaled
+points from disk instead of recomputing them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.activity import ActivityReport, estimate_activity
+from repro.analysis.power import estimate_power
+from repro.api.job import Job, SweepSpec
+from repro.api.records import KIND_OPTIMIZE_CIRCUIT, KIND_SWEEP, RunRecord
+from repro.api.session import (
+    JOB_ERROR_KEY,
+    POOL_ERRORS,
+    Session,
+    worker_session,
+)
+from repro.cells.library import Library
+from repro.explore.store import CampaignError, CampaignStore
+from repro.explore.summary import SweepSummary, summarize
+from repro.protocol.optimizer import WarmStart
+
+#: Vector count for the summary's power estimates (matches Job default).
+POWER_VECTORS = 128
+
+#: Per-point progress callback: ``(done, total, label)``.
+ProgressFn = Callable[[int, int, str], None]
+
+
+class _ChunkJobError(Exception):
+    """Internal wrapper: a *job* failed inside a pool chunk.
+
+    Job errors can be arbitrary exceptions -- including ``OSError``
+    subclasses such as a missing ``.bench`` file -- so re-raising them
+    bare from the pool path would let them masquerade as
+    pool-infrastructure failures and trigger a pointless full serial
+    recompute before failing identically.  The wrapper keeps them out of
+    the ``POOL_ERRORS`` fallback; the runner unwraps it at the boundary.
+    """
+
+    def __init__(self, original: BaseException) -> None:
+        super().__init__(str(original))
+        self.original = original
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished campaign produced.
+
+    Attributes
+    ----------
+    spec / records:
+        The grid and its per-point run records, in grid order
+        (resumed points carry their original journaled records).
+    summary:
+        Scalar metrics + Pareto frontier over all points.
+    computed / resumed:
+        How many points were run now vs served from the store.
+    elapsed_s:
+        Wall-clock time of this ``run_sweep`` call.
+    """
+
+    spec: SweepSpec
+    records: List[RunRecord]
+    summary: SweepSummary
+    computed: int = 0
+    resumed: int = 0
+    elapsed_s: float = 0.0
+
+    def record(self) -> RunRecord:
+        """The campaign as one ``sweep`` run-record envelope.
+
+        The payload carries the spec echo and the summary (JSON-native);
+        the full per-point records live in the campaign store / in
+        :attr:`records`, not in this envelope.
+        """
+        return RunRecord(
+            kind=KIND_SWEEP,
+            job=None,
+            payload={
+                "spec": self.spec.to_dict(),
+                "summary": self.summary.to_dict(),
+                "computed": int(self.computed),
+                "resumed": int(self.resumed),
+            },
+            extra={"points": len(self.records)},
+            elapsed_s=self.elapsed_s,
+            created_unix=time.time(),
+        )
+
+
+def _chunks(jobs: Sequence[Job], chunk_size: Optional[int]) -> List[List[Job]]:
+    """Split grid jobs into warm-startable chunks.
+
+    One chunk per benchmark group (contiguous in grid order); large
+    groups are further split to ``chunk_size`` so a many-point single
+    benchmark can still use several workers.  Every chunk warm-starts
+    internally from its own first point.
+    """
+    groups: List[List[Job]] = []
+    for job in jobs:
+        if groups and groups[-1][0].benchmark == job.benchmark:
+            groups[-1].append(job)
+        else:
+            groups.append([job])
+    if not chunk_size or chunk_size < 1:
+        return groups
+    out: List[List[Job]] = []
+    for group in groups:
+        for start in range(0, len(group), chunk_size):
+            out.append(group[start : start + chunk_size])
+    return out
+
+
+def _run_chunk(
+    session: Session,
+    jobs: Sequence[Job],
+    after_point: Optional[Callable[[Job, RunRecord], None]] = None,
+) -> List[RunRecord]:
+    """Run one chunk serially with a fresh warm-start carry."""
+    warm = WarmStart()
+    records = []
+    for job in jobs:
+        record = session.optimize(job, warm=warm)
+        if after_point is not None:
+            after_point(job, record)
+        records.append(record)
+    return records
+
+
+def _sweep_chunk_worker(
+    task: Tuple[Library, Dict, Optional[str], List[Dict]],
+) -> List[Dict]:
+    """Process-pool entry: run one warm chunk in a fresh session.
+
+    Mirrors the batch runner's worker: the parent's Flimit table rides
+    along so workers never re-characterise, records cross the process
+    boundary serialized (which pins byte identity with the serial path),
+    and job failures are marshalled -- distinguishable from pool
+    breakage, which surfaces as the pool exception itself.
+    """
+    library, limits, bench_dir, job_dicts = task
+    session = worker_session(library, limits, bench_dir)
+    warm = WarmStart()
+    out: List[Dict] = []
+    for job_dict in job_dicts:
+        try:
+            record = session.optimize(Job.from_dict(job_dict), warm=warm)
+        except Exception as exc:  # marshalled, re-raised by the parent
+            out.append({JOB_ERROR_KEY: exc})
+            break
+        out.append(record.to_dict())
+    return out
+
+
+def _parallel_chunks(
+    session: Session,
+    chunks: List[List[Job]],
+    workers: int,
+    on_chunk: Callable[[int, List[RunRecord]], None],
+) -> None:
+    """Fan warm chunks out to a process pool, streaming completions.
+
+    ``on_chunk(chunk_index, records)`` fires as each chunk finishes --
+    that call is the journaling commit point, so completed points hit
+    the campaign store without waiting for slower chunks.  A chunk that
+    failed partway still delivers its completed prefix; the marshalled
+    job error is re-raised only after every chunk has been drained (and
+    journaled).  Pool-infrastructure errors propagate to the caller,
+    which falls back to the serial loop for whatever is not yet done.
+    """
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    limits = session.flimits()
+    first_error: Optional[BaseException] = None
+    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+        futures = {
+            pool.submit(
+                _sweep_chunk_worker,
+                (
+                    session.library,
+                    limits,
+                    session.bench_dir,
+                    [job.to_dict() for job in chunk],
+                ),
+            ): index
+            for index, chunk in enumerate(chunks)
+        }
+        for future in as_completed(futures):
+            outcome = future.result()  # pool breakage raises here
+            records: List[RunRecord] = []
+            error: Optional[BaseException] = None
+            for entry in outcome:
+                if JOB_ERROR_KEY in entry:
+                    error = entry[JOB_ERROR_KEY]
+                    break
+                records.append(
+                    RunRecord.from_dict(entry, library=session.library)
+                )
+            on_chunk(futures[future], records)
+            session.stats.jobs_run += len(records)
+            if error is not None and first_error is None:
+                first_error = error
+    if first_error is not None:
+        raise _ChunkJobError(first_error)
+
+
+def _power_for(
+    session: Session,
+    record: RunRecord,
+    activity_memo: Dict[Tuple, ActivityReport],
+) -> Optional[float]:
+    """Deterministic total power of a circuit-scope point (else None).
+
+    Activity is a pure function of the logic structure (seeded
+    Monte-Carlo over logic values), so it is memoized per structure key
+    and shared by every sizing of the same netlist.
+    """
+    if record.kind != KIND_OPTIMIZE_CIRCUIT:
+        return None
+    circuit = record.payload.circuit
+    key = circuit.structure_key()
+    activity = activity_memo.get(key)
+    if activity is None:
+        activity = estimate_activity(circuit, n_vectors=POWER_VECTORS)
+        activity_memo[key] = activity
+    report = estimate_power(circuit, session.library, activity=activity)
+    return float(report.total_uw)
+
+
+def run_sweep(
+    session: Session,
+    spec: SweepSpec,
+    store: Optional[Union[CampaignStore, str]] = None,
+    resume: bool = False,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    with_power: bool = True,
+    progress: Optional[ProgressFn] = None,
+) -> SweepResult:
+    """Run (or resume) a sweep campaign.
+
+    Parameters
+    ----------
+    store:
+        Campaign directory (or an opened store).  Every completed point
+        is journaled immediately; without ``resume`` the journal must be
+        empty (mixing two runs un-resumed would double-journal points).
+    resume:
+        Serve already-journaled points from the store instead of
+        recomputing them.
+    workers / chunk_size:
+        Scale-out knobs: chunks (benchmark groups, optionally split to
+        ``chunk_size`` points) fan out over a process pool; pool-less
+        environments fall back to the serial loop transparently, with
+        byte-identical payloads either way.
+    with_power:
+        Attach deterministic power estimates to circuit-scope summary
+        points (the third Pareto objective).
+    progress:
+        Optional ``(done, total, label)`` callback per completed point.
+    """
+    started = time.perf_counter()
+    jobs = spec.jobs()
+    if isinstance(store, (str, bytes)):
+        store = CampaignStore(str(store))
+    done_records: Dict[str, RunRecord] = {}
+    if store is not None:
+        store.initialize(spec)
+        completed = store.completed_labels()
+        if completed and not resume:
+            raise CampaignError(
+                f"{store.root}: campaign already holds {len(completed)} "
+                "completed point(s); pass resume=True (or --resume) to "
+                "continue it, or use a fresh directory"
+            )
+        if resume:
+            journaled = store.load_records(library=session.library)
+            wanted = {job.label for job in jobs}
+            done_records = {
+                label: rec for label, rec in journaled.items() if label in wanted
+            }
+
+    pending = [job for job in jobs if job.label not in done_records]
+    total = len(jobs)
+    reported = {"n": len(done_records)}
+
+    def after_point(job: Job, record: RunRecord) -> None:
+        if store is not None:
+            store.append(job.label or job.name, record)
+        reported["n"] += 1
+        if progress is not None:
+            progress(reported["n"], total, job.label or job.name)
+
+    fresh: Dict[str, RunRecord] = {}
+    chunks = _chunks(pending, chunk_size)
+    if workers and workers > 1 and len(chunks) > 1:
+
+        def on_chunk(index: int, records: List[RunRecord]) -> None:
+            for job, record in zip(chunks[index], records):
+                after_point(job, record)
+                fresh[job.label or job.name] = record
+
+        try:
+            _parallel_chunks(session, chunks, workers, on_chunk)
+        except _ChunkJobError as exc:
+            # A job itself failed: completed points are journaled, the
+            # original exception surfaces (resume picks up from there).
+            raise exc.original
+        except POOL_ERRORS:
+            # Same contract as Session.optimize_many: pool infrastructure
+            # failures mean "no subprocesses here", not "job failed".
+            # Chunks that did complete are already journaled; the serial
+            # loop below transparently picks up only the remainder.
+            pass
+    remaining = [job for job in pending if (job.label or job.name) not in fresh]
+    for chunk in _chunks(remaining, chunk_size):
+        for record in _run_chunk(session, chunk, after_point=after_point):
+            fresh[record.job.label or record.job.name] = record
+
+    ordered: List[RunRecord] = []
+    for job in jobs:
+        record = fresh.get(job.label) or done_records.get(job.label)
+        assert record is not None  # every job was run or resumed
+        ordered.append(record)
+
+    power_by_label: Dict[str, Optional[float]] = {}
+    if with_power:
+        activity_memo: Dict[Tuple, ActivityReport] = {}
+        for record in ordered:
+            label = record.job.name if record.job else ""
+            power_by_label[label] = _power_for(session, record, activity_memo)
+
+    return SweepResult(
+        spec=spec,
+        records=ordered,
+        summary=summarize(ordered, power_by_label=power_by_label),
+        computed=len(fresh),
+        resumed=len(done_records),
+        elapsed_s=time.perf_counter() - started,
+    )

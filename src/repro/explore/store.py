@@ -1,0 +1,154 @@
+"""Resumable on-disk campaign store: a manifest plus a record journal.
+
+Layout (one directory per campaign)::
+
+    <root>/
+      manifest.json    # {"format": 1, "spec": SweepSpec.to_dict()}
+      records.jsonl    # one line per completed grid point
+
+Each ``records.jsonl`` line is a self-contained JSON object::
+
+    {"label": "<point label>", "record": RunRecord.to_dict()}
+
+with the full lossless run-record envelope (timing metadata included).
+Appending a line is the commit point of a grid point; the journal is
+append-only and never rewritten.  A killed *serial* campaign therefore
+loses at most the point it was computing; a *parallel* campaign
+journals as each worker chunk is delivered to the parent, so a kill
+additionally loses the not-yet-delivered points of in-flight chunks
+(bound by ``chunk_size``).  On resume, well-formed lines name the completed
+points (their labels are the :meth:`repro.api.job.SweepSpec.point_label`
+identities) and are served back from disk; a torn final line from a
+crash mid-write simply does not parse and its point is re-run.  The
+manifest pins the spec: re-opening a store with a different grid is an
+error, not a silent mix of two campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.api.job import SweepSpec
+from repro.api.records import RunRecord
+from repro.cells.library import Library
+
+#: On-disk format version written to (and checked in) the manifest.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+RECORDS_NAME = "records.jsonl"
+
+
+class CampaignError(RuntimeError):
+    """A campaign directory that cannot be (re)used as requested."""
+
+
+class CampaignStore:
+    """Append-only journal of one sweep campaign's run records."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CampaignStore({self.root!r})"
+
+    @property
+    def manifest_path(self) -> str:
+        """Path of the spec-pinning manifest."""
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    @property
+    def records_path(self) -> str:
+        """Path of the append-only record journal."""
+        return os.path.join(self.root, RECORDS_NAME)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def initialize(self, spec: SweepSpec) -> None:
+        """Create the campaign directory or verify it matches ``spec``.
+
+        A fresh directory gets a manifest; an existing one must carry a
+        manifest whose spec is identical (label included) -- resuming a
+        *different* grid into the same journal would silently interleave
+        two campaigns.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        if os.path.exists(self.manifest_path):
+            with open(self.manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            if manifest.get("format") != FORMAT_VERSION:
+                raise CampaignError(
+                    f"{self.manifest_path}: unsupported campaign format "
+                    f"{manifest.get('format')!r}"
+                )
+            if manifest.get("spec") != spec.to_dict():
+                raise CampaignError(
+                    f"{self.root}: campaign was created for a different sweep "
+                    "spec; use a fresh directory (or the original spec)"
+                )
+            return
+        with open(self.manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"format": FORMAT_VERSION, "spec": spec.to_dict()},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+
+    def spec(self) -> SweepSpec:
+        """The spec this campaign was created for."""
+        with open(self.manifest_path, encoding="utf-8") as handle:
+            return SweepSpec.from_dict(json.load(handle)["spec"])
+
+    # -- journal -------------------------------------------------------
+
+    def _lines(self) -> Iterator[Tuple[str, dict]]:
+        """Well-formed ``(label, record dict)`` journal entries.
+
+        Malformed lines (a torn write from a crash) are skipped: their
+        points read as not-yet-completed and are simply re-run.
+        """
+        if not os.path.exists(self.records_path):
+            return
+        with open(self.records_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(entry, dict) or "label" not in entry:
+                    continue
+                yield str(entry["label"]), entry.get("record") or {}
+
+    def completed_labels(self) -> Dict[str, int]:
+        """``label -> journal position`` of every completed point."""
+        return {label: i for i, (label, _) in enumerate(self._lines())}
+
+    def append(self, label: str, record: RunRecord) -> None:
+        """Journal one completed grid point (the point's commit)."""
+        line = json.dumps(
+            {"label": label, "record": record.to_dict()}, sort_keys=True
+        )
+        with open(self.records_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def load_records(
+        self, library: Optional[Library] = None
+    ) -> Dict[str, RunRecord]:
+        """Rebuild every journaled record, keyed by point label.
+
+        Duplicate labels keep the *first* journaled record, matching the
+        resume semantics (a completed point is never re-run, so a later
+        duplicate can only come from tampering).
+        """
+        out: Dict[str, RunRecord] = {}
+        for label, data in self._lines():
+            if label not in out:
+                out[label] = RunRecord.from_dict(data, library=library)
+        return out

@@ -1,0 +1,199 @@
+"""Per-point metrics and Pareto frontiers of a finished sweep.
+
+Every grid point of a campaign collapses to one :class:`SweepPoint` --
+the scalar coordinates the paper's curves are drawn from (delay, area,
+power against the constraint axis).  :class:`SweepSummary` holds them in
+grid order and answers the two questions a sweep exists for: "what does
+the trade-off table look like" (:meth:`SweepSummary.format`) and "which
+implementations are worth keeping" (:meth:`SweepSummary.frontier`,
+delay/area/power Pareto dominance per benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.pareto import pareto_indices
+from repro.api.records import (
+    KIND_OPTIMIZE_CIRCUIT,
+    KIND_OPTIMIZE_PATH,
+    RunRecord,
+)
+from repro.protocol.report import format_table
+
+#: The objectives frontier extraction minimizes, in report order.
+OBJECTIVES = ("delay_ps", "area_um", "power_uw")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's scalar outcome.
+
+    ``power_uw`` is ``None`` for path-scope points (no netlist to run
+    the power model on); the dominance filter treats missing metrics as
+    incomparable, so mixed campaigns still order cleanly.
+    """
+
+    label: str
+    benchmark: str
+    scope: str
+    weight_mode: str
+    restructuring: bool
+    tc_ps: float
+    tc_ratio: Optional[float]
+    delay_ps: float
+    area_um: float
+    power_uw: Optional[float]
+    feasible: bool
+    method: str
+    elapsed_s: float
+
+    def objectives(self) -> Tuple[Optional[float], ...]:
+        """The minimized coordinate vector (delay, area, power)."""
+        return (self.delay_ps, self.area_um, self.power_uw)
+
+
+def point_from_record(record: RunRecord, power_uw: Optional[float] = None) -> SweepPoint:
+    """Collapse one optimize record to its sweep coordinates."""
+    job = record.job
+    if job is None:
+        raise ValueError("sweep points need the job echo on the record")
+    tc_ps = float(record.extra["tc_ps"])
+    tmin_ps = record.extra.get("tmin_ps")
+    tc_ratio = None if not tmin_ps else tc_ps / float(tmin_ps)
+    if record.kind == KIND_OPTIMIZE_CIRCUIT:
+        outcome = record.payload
+        delay = float(outcome.critical_delay_ps)
+        area = float(record.extra["area_um"])
+        feasible = bool(outcome.feasible)
+        method = f"{outcome.passes} passes"
+    elif record.kind == KIND_OPTIMIZE_PATH:
+        outcome = record.payload
+        delay = float(outcome.delay_ps)
+        area = float(outcome.area_um)
+        feasible = bool(outcome.feasible)
+        method = outcome.method
+    else:
+        raise ValueError(f"not an optimize record: {record.kind!r}")
+    return SweepPoint(
+        label=job.name,
+        benchmark=job.benchmark or "<inline>",
+        scope=job.scope,
+        weight_mode=job.weight_mode,
+        restructuring=job.allow_restructuring,
+        tc_ps=tc_ps,
+        tc_ratio=tc_ratio,
+        delay_ps=delay,
+        area_um=area,
+        power_uw=power_uw,
+        feasible=feasible,
+        method=method,
+        elapsed_s=float(record.elapsed_s),
+    )
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """All points of a campaign, in grid order."""
+
+    points: Tuple[SweepPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def benchmarks(self) -> Tuple[str, ...]:
+        """Benchmark names in first-appearance order."""
+        seen: List[str] = []
+        for point in self.points:
+            if point.benchmark not in seen:
+                seen.append(point.benchmark)
+        return tuple(seen)
+
+    def frontier(self, benchmark: Optional[str] = None) -> Tuple[SweepPoint, ...]:
+        """The delay/area/power non-dominated points.
+
+        Dominance is evaluated *within* each benchmark -- a small
+        circuit's area must not erase a big circuit's whole curve --
+        and the union is returned (or one benchmark's slice).
+        """
+        names = (benchmark,) if benchmark is not None else self.benchmarks()
+        out: List[SweepPoint] = []
+        for name in names:
+            group = [p for p in self.points if p.benchmark == name]
+            for index in pareto_indices([p.objectives() for p in group]):
+                out.append(group[index])
+        return tuple(out)
+
+    def frontier_labels(self) -> Tuple[str, ...]:
+        """Labels of the frontier points (store/record cross-reference)."""
+        return tuple(point.label for point in self.frontier())
+
+    def format(self) -> str:
+        """Fixed-width trade-off table; ``*`` marks frontier points."""
+        on_frontier = set(self.frontier_labels())
+        rows = []
+        for p in self.points:
+            rows.append(
+                (
+                    "*" if p.label in on_frontier else "",
+                    p.benchmark,
+                    f"{p.tc_ps:.1f}",
+                    "-" if p.tc_ratio is None else f"{p.tc_ratio:.2f}",
+                    p.weight_mode,
+                    "yes" if p.restructuring else "no",
+                    f"{p.delay_ps:.1f}",
+                    f"{p.area_um:.1f}",
+                    "-" if p.power_uw is None else f"{p.power_uw:.2f}",
+                    "yes" if p.feasible else "no",
+                    p.method,
+                )
+            )
+        return format_table(
+            (
+                "pareto",
+                "circuit",
+                "Tc (ps)",
+                "Tc/Tmin",
+                "weights",
+                "restruct",
+                "delay (ps)",
+                "area (um)",
+                "power (uW)",
+                "feasible",
+                "method",
+            ),
+            rows,
+        )
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native representation (the sweep record payload core)."""
+        return {
+            "points": [asdict(point) for point in self.points],
+            "frontier": list(self.frontier_labels()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSummary":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        return cls(
+            points=tuple(SweepPoint(**point) for point in data["points"])
+        )
+
+
+def summarize(
+    records: Sequence[RunRecord],
+    power_by_label: Optional[Dict[str, Optional[float]]] = None,
+) -> SweepSummary:
+    """Build the summary for a list of optimize records in grid order."""
+    power_by_label = power_by_label or {}
+    return SweepSummary(
+        points=tuple(
+            point_from_record(
+                record, power_uw=power_by_label.get(record.job.name if record.job else "")
+            )
+            for record in records
+        )
+    )

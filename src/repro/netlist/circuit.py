@@ -171,6 +171,43 @@ class Circuit:
         counts["depth"] = self.depth() if self.gates else 0
         return counts
 
+    # -- fingerprints -------------------------------------------------
+
+    def state_key(self) -> Tuple:
+        """Hashable fingerprint of structure *and* sizing.
+
+        Any mutation that can change timing -- topology, gate kinds,
+        fan-in order, per-gate sizes -- changes the key, so analyses
+        memoized under it can never go stale (the session caches and the
+        sweep warm-start memos both rely on this).
+        """
+        return (
+            self.name,
+            tuple(self.inputs),
+            tuple(self.outputs),
+            tuple(
+                (gate.name, gate.kind.value, gate.fanin, gate.cin_ff)
+                for gate in self.gates.values()
+            ),
+        )
+
+    def structure_key(self) -> Tuple:
+        """The sizing-free prefix of :meth:`state_key`.
+
+        Two circuits with the same structure key differ at most in
+        per-gate ``cin_ff`` values -- exactly the precondition for
+        re-timing one from the other with an incremental cone update.
+        """
+        return (
+            self.name,
+            tuple(self.inputs),
+            tuple(self.outputs),
+            tuple(
+                (gate.name, gate.kind.value, gate.fanin)
+                for gate in self.gates.values()
+            ),
+        )
+
     # -- behaviour ----------------------------------------------------
 
     def simulate(self, input_values: Mapping[str, bool]) -> Dict[str, bool]:

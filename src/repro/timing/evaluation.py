@@ -23,7 +23,6 @@ sizing) are computed once per (path, technology) pair and cached.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -77,8 +76,27 @@ class _PathConstants:
     edges: Tuple[Edge, ...]
 
 
-@lru_cache(maxsize=4096)
 def _constants(path: BoundedPath, tech: Technology) -> _PathConstants:
+    """Model constants of ``(path, tech)``, cached on the path instance.
+
+    The previous ``lru_cache`` keyed on the full ``BoundedPath`` value,
+    deep-hashing every stage's cell dataclass on *every* delay
+    evaluation -- measurably the hottest non-numeric cost of the eq. 4/6
+    inner loops.  A single per-instance slot (paths are immutable, and
+    the sizing machinery evaluates one path object millions of times
+    against one technology) replaces the hash with an identity check;
+    the stored technology reference keeps the key object alive, so the
+    identity can never be recycled while the entry exists.
+    """
+    entry = path.__dict__.get("_constants_entry")
+    if entry is not None and entry[0] is tech:
+        return entry[1]
+    constants = _build_constants(path, tech)
+    object.__setattr__(path, "_constants_entry", (tech, constants))
+    return constants
+
+
+def _build_constants(path: BoundedPath, tech: Technology) -> _PathConstants:
     s_tau = []
     vt = []
     m = []

@@ -268,6 +268,21 @@ class IncrementalSta:
             self._refresh_critical()
         return self.result()
 
+    def retarget(self, circuit: Circuit) -> StaResult:
+        """Re-point the engine at a different :class:`Circuit` object.
+
+        The warm-start primitive of the Tc-sweep layer: instead of paying
+        a from-scratch build for every sweep point, the engine keeps the
+        annotation of the previous point's circuit and re-propagates only
+        what differs -- size diffs, load diffs, gates added or removed.
+        The circuits need not share structure (``refresh_structure``
+        diffs both ways), but the closer they are, the less is re-timed;
+        the resulting annotation is bit-identical to a fresh build of the
+        new circuit either way.
+        """
+        self.circuit = circuit
+        return self.refresh_structure()
+
     def _propagate(self, seeds: Set[str]) -> None:
         """Levelized worklist from ``seeds``; stops where arrivals settle."""
         heap = [(self._level[name], name) for name in seeds]

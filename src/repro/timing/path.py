@@ -101,6 +101,26 @@ class BoundedPath:
         """The gate kinds along the path."""
         return tuple(stage.cell.kind for stage in self.stages)
 
+    def fingerprint(self) -> Tuple:
+        """Hashable identity of everything the sizing machinery reads.
+
+        Two paths with equal fingerprints are interchangeable inputs to
+        every pure path function (delay evaluation, the eq. 4 bounds,
+        constraint distribution): same cell kinds, side loads, boundary
+        conditions and polarity.  Stage names ride along so memo keys
+        stay scoped to the netlist gates they came from.
+        """
+        return (
+            tuple(
+                (stage.cell.kind, stage.cside_ff, stage.name)
+                for stage in self.stages
+            ),
+            self.cin_first_ff,
+            self.cterm_ff,
+            self.input_edge,
+            self.tin_first_ps,
+        )
+
     def edge_at(self, index: int) -> Edge:
         """Polarity of the switching input of stage ``index``."""
         edge = self.input_edge

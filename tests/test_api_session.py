@@ -52,6 +52,45 @@ class TestFlimitCaching:
         assert counted_characterize["n"] == 2
         assert first == fresh
 
+    def test_cache_contains_is_the_public_probe(self):
+        library = default_library()
+        assert not insertion.flimit_cache_contains(library)
+        insertion.default_flimits(library)
+        assert insertion.flimit_cache_contains(library)
+        assert not insertion.flimit_cache_contains(default_library())
+
+    def test_stale_id_reuse_entry_counts_a_characterization(
+        self, counted_characterize
+    ):
+        """A dead entry keyed at a reused id must read as a cache miss.
+
+        Simulates ``id()`` reuse: another library lived at this address,
+        was characterised, and was garbage-collected -- leaving a cache
+        entry whose weak reference is dead.  Probing by raw key would
+        claim residency and undercount ``stats.characterizations``; the
+        public probe checks the referent.
+        """
+        import weakref
+
+        library = default_library()
+
+        class Anchor:
+            pass
+
+        ghost = Anchor()
+        insertion._FLIMIT_CACHE[id(library)] = (weakref.ref(ghost), {})
+        del ghost  # the weakref is now dead; the stale entry remains
+        try:
+            assert not insertion.flimit_cache_contains(library)
+            session = Session(library=library)
+            session.flimits()
+            assert session.stats.characterizations == 1
+            assert counted_characterize["n"] == 1
+            # The real characterisation replaced the stale entry.
+            assert insertion.flimit_cache_contains(library)
+        finally:
+            insertion._FLIMIT_CACHE.pop(id(library), None)
+
 
 class TestStateKeyedCaches:
     def test_state_key_tracks_sizing(self):

@@ -114,3 +114,59 @@ class TestReportCommands:
         out = capsys.readouterr().out
         assert "dynamic power" in out
         assert "uW" in out
+
+
+class TestSweepCommand:
+    GRID = ["sweep", "fpd", "--tc-ratios", "1.3,1.6",
+            "--k-paths", "2", "--max-passes", "2", "--quiet"]
+
+    def test_sweep_table_store_and_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "camp")
+        assert main(self.GRID + ["--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "pareto" in out
+        assert "2 computed, 0 resumed" in out
+        # Second run resumes: every journaled point is skipped.
+        assert main(self.GRID + ["--store", store, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 2 resumed" in out
+
+    def test_sweep_json_is_a_sweep_record(self, capsys):
+        assert main(self.GRID + ["--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "sweep"
+        assert data["payload"]["spec"]["benchmarks"] == ["fpd"]
+        points = data["payload"]["summary"]["points"]
+        assert len(points) == 2
+        assert data["payload"]["summary"]["frontier"]
+
+    def test_sweep_range_syntax(self, capsys):
+        assert main(["sweep", "fpd", "--tc-ratios", "1.2:1.8:3",
+                     "--scope", "path", "--quiet", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        ratios = [p["tc_ratio"] for p in data["payload"]["summary"]["points"]]
+        assert ratios == pytest.approx([1.2, 1.5, 1.8])
+
+    def test_resume_requires_store(self, capsys):
+        assert main(self.GRID + ["--resume"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_axis_flags_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "fpd", "--tc-ratios", "1.5", "--tc-ps", "900"]
+            )
+
+    def test_empty_point_list_rejected(self):
+        # An empty --tc-ps must not silently fall back to the ratio axis.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "fpd", "--tc-ps", ""])
+
+    def test_unresumed_store_reuse_is_a_clean_error(self, capsys, tmp_path):
+        store = str(tmp_path / "camp")
+        assert main(self.GRID + ["--store", store]) == 0
+        capsys.readouterr()
+        # Designed failure: message + exit 2, not a traceback.
+        assert main(self.GRID + ["--store", store]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--resume" in err

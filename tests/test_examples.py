@@ -48,3 +48,9 @@ class TestExamples:
         result = _run("low_power_flow.py")
         assert result.returncode == 0, result.stderr
         assert "power saved" in result.stdout
+
+    def test_tc_sweep_pareto(self):
+        result = _run("tc_sweep_pareto.py")
+        assert result.returncode == 0, result.stderr
+        assert "Pareto front" in result.stdout
+        assert "warm-started" in result.stdout

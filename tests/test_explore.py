@@ -1,0 +1,281 @@
+"""Sweep subsystem: spec expansion, Pareto, campaign store, warm runner.
+
+The load-bearing guarantee is *determinism*: a warm-started sweep (shared
+session caches, neighbour-seeded engines, memoized bounds) must produce
+record payloads byte-identical to cold, independent per-point runs, and a
+resumed campaign must serve journaled points byte-identically too.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.pareto import dominates, pareto_indices
+from repro.api import JobError, Session, SweepSpec
+from repro.explore import CampaignError, CampaignStore, run_sweep
+
+#: A small, fast grid (fpd is the 60-gate paper example; two passes are
+#: plenty to exercise the warm-start machinery).
+SPEC = SweepSpec(
+    benchmarks=("fpd",),
+    tc_ratio_points=(1.2, 1.5, 1.8),
+    k_paths=2,
+    max_passes=2,
+)
+
+
+def payload_bytes(record) -> bytes:
+    return json.dumps(
+        record.to_dict(with_timing=False), sort_keys=True
+    ).encode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def warm_result():
+    """One warm sweep shared by the read-only assertions below."""
+    return run_sweep(Session(), SPEC)
+
+
+class TestSweepSpec:
+    def test_expansion_covers_the_grid_in_warm_order(self):
+        spec = SweepSpec(
+            benchmarks=("fpd", "c432"),
+            tc_ratio_points=(1.5, 1.1),
+            weight_modes=("uniform", "area"),
+            restructuring=(True, False),
+        )
+        jobs = spec.jobs()
+        assert len(jobs) == spec.point_count == 2 * 2 * 2 * 2
+        # Benchmarks contiguous, constraints ascending inside each combo.
+        assert [j.benchmark for j in jobs[:8]] == ["fpd"] * 8
+        assert jobs[0].tc_ratio == 1.1 and jobs[1].tc_ratio == 1.5
+        # Labels are unique and deterministic.
+        labels = [j.label for j in jobs]
+        assert len(set(labels)) == len(labels)
+        assert labels[0] == "fpd/r1.1/uniform/dm"
+
+    def test_label_prefix(self):
+        spec = SweepSpec(
+            benchmarks=("fpd",), tc_ps_points=(900.0,), label="night42"
+        )
+        assert spec.jobs()[0].label == "night42:fpd/ps900/uniform/dm"
+
+    def test_round_trip(self):
+        spec = SweepSpec(
+            benchmarks=("c432",),
+            tc_ps_points=(800.0, 1200.0),
+            scope="path",
+            weight_modes=("area",),
+            restructuring=(False,),
+            label="x",
+        )
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},  # no benchmarks
+            {"benchmarks": ("fpd",)},  # no constraint axis
+            {
+                "benchmarks": ("fpd",),
+                "tc_ps_points": (1.0,),
+                "tc_ratio_points": (1.5,),
+            },
+            {"benchmarks": ("fpd", "fpd"), "tc_ratio_points": (1.5,)},
+            {"benchmarks": ("fpd",), "tc_ratio_points": (-1.0,)},
+            {"benchmarks": ("fpd",), "tc_ratio_points": (1.5, 1.5)},
+            # Distinct floats whose %g renderings collide: the labels
+            # (the resume/record identity) would silently merge.
+            {"benchmarks": ("fpd",), "tc_ps_points": (1234.567, 1234.5671)},
+            {"benchmarks": ("fpd",), "tc_ratio_points": (1.5,), "scope": "net"},
+            {
+                "benchmarks": ("fpd",),
+                "tc_ratio_points": (1.5,),
+                "weight_modes": ("heavy",),
+            },
+            {
+                "benchmarks": ("fpd",),
+                "tc_ratio_points": (1.5,),
+                "restructuring": (),
+            },
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(JobError):
+            SweepSpec(**kwargs)
+
+
+class TestPareto:
+    def test_dominates(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((1.0, 1.0), (1.0, 1.0))  # equal: no strict edge
+
+    def test_none_is_incomparable(self):
+        # The comparable coordinate decides; None coordinates are skipped.
+        assert dominates((1.0, None), (2.0, None))
+        assert dominates((1.0, 0.0), (2.0, None))
+
+    def test_none_objectives(self):
+        # Only the comparable coordinates count.
+        assert dominates((1.0, None, 5.0), (2.0, 3.0, 5.0))
+        assert not dominates((None, None), (None, None))
+
+    def test_pareto_indices_keep_ties_and_order(self):
+        points = [(2.0, 1.0), (1.0, 2.0), (2.0, 1.0), (3.0, 3.0)]
+        assert pareto_indices(points) == [0, 1, 2]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestWarmDeterminism:
+    def test_warm_sweep_matches_cold_independent_jobs(self, warm_result):
+        # The acceptance bar: byte-identical payloads against cold runs,
+        # each in its own fresh session (no shared caches at all).
+        for job, record in zip(SPEC.jobs(), warm_result.records):
+            cold = Session().optimize(job)
+            assert payload_bytes(record) == payload_bytes(cold)
+
+    def test_summary_covers_every_point(self, warm_result):
+        summary = warm_result.summary
+        assert len(summary) == SPEC.point_count
+        labels = {p.label for p in summary.points}
+        assert {j.label for j in SPEC.jobs()} == labels
+        # Circuit-scope points carry the power objective.
+        assert all(p.power_uw is not None for p in summary.points)
+        # The frontier is a non-empty subset of the grid.
+        frontier = set(summary.frontier_labels())
+        assert frontier and frontier <= labels
+
+    def test_tighter_constraints_cost_area(self, warm_result):
+        by_tc = sorted(warm_result.summary.points, key=lambda p: p.tc_ps)
+        assert by_tc[0].area_um >= by_tc[-1].area_um
+
+    def test_summary_round_trip(self, warm_result):
+        from repro.explore.summary import SweepSummary
+
+        data = warm_result.summary.to_dict()
+        again = SweepSummary.from_dict(json.loads(json.dumps(data)))
+        assert again == warm_result.summary
+        assert again.frontier_labels() == warm_result.summary.frontier_labels()
+
+    def test_sweep_record_is_json_native(self, warm_result):
+        from repro.api import RunRecord
+
+        envelope = warm_result.record()
+        again = RunRecord.from_json(envelope.to_json())
+        assert again.payload == envelope.payload
+        assert again.extra["points"] == SPEC.point_count
+
+
+class TestCampaignStore:
+    def test_journal_and_resume_skip_completed(self, tmp_path):
+        root = str(tmp_path / "camp")
+        session = Session()
+        first = run_sweep(session, SPEC, store=root)
+        assert first.computed == SPEC.point_count
+        # Re-running with resume computes nothing and serves the journal.
+        again = run_sweep(session, SPEC, store=root, resume=True)
+        assert again.computed == 0
+        assert again.resumed == SPEC.point_count
+        for a, b in zip(first.records, again.records):
+            assert payload_bytes(a) == payload_bytes(b)
+
+    def test_torn_tail_line_is_recomputed(self, tmp_path):
+        root = str(tmp_path / "camp")
+        session = Session()
+        first = run_sweep(session, SPEC, store=root)
+        store = CampaignStore(root)
+        with open(store.records_path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        # Simulate a crash mid-append: the last line is torn.
+        with open(store.records_path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:-1])
+            handle.write(lines[-1][: len(lines[-1]) // 2])
+        resumed = run_sweep(session, SPEC, store=root, resume=True)
+        assert resumed.computed == 1
+        assert resumed.resumed == SPEC.point_count - 1
+        for a, b in zip(first.records, resumed.records):
+            assert payload_bytes(a) == payload_bytes(b)
+
+    def test_unresumed_reuse_is_refused(self, tmp_path):
+        root = str(tmp_path / "camp")
+        run_sweep(Session(), SPEC, store=root)
+        with pytest.raises(CampaignError, match="resume"):
+            run_sweep(Session(), SPEC, store=root)
+
+    def test_spec_mismatch_is_refused(self, tmp_path):
+        root = str(tmp_path / "camp")
+        store = CampaignStore(root)
+        store.initialize(SPEC)
+        other = SweepSpec(benchmarks=("c432",), tc_ratio_points=(1.5,))
+        with pytest.raises(CampaignError, match="different sweep"):
+            store.initialize(other)
+        assert store.spec() == SPEC
+
+    def test_points_before_a_failing_job_stay_journaled(self, tmp_path):
+        """A mid-campaign crash loses at most the in-flight point."""
+        root = str(tmp_path / "camp")
+        bad = SweepSpec(
+            benchmarks=("fpd", "c0000"),  # c0000 does not exist
+            tc_ratio_points=SPEC.tc_ratio_points,
+            k_paths=SPEC.k_paths,
+            max_passes=SPEC.max_passes,
+        )
+        with pytest.raises(KeyError):
+            run_sweep(Session(), bad, store=root)
+        # The fpd chunk completed before the failure: all three of its
+        # points are in the journal and a resume serves them from disk.
+        completed = CampaignStore(root).completed_labels()
+        assert {label.split("/")[0] for label in completed} == {"fpd"}
+        assert len(completed) == 3
+        with pytest.raises(KeyError):
+            run_sweep(Session(), bad, store=root, resume=True)
+        # The resumed attempt recomputed nothing for fpd.
+        assert len(CampaignStore(root).completed_labels()) == 3
+
+    def test_manifest_written_once(self, tmp_path):
+        root = str(tmp_path / "camp")
+        store = CampaignStore(root)
+        store.initialize(SPEC)
+        assert os.path.exists(store.manifest_path)
+        store.initialize(SPEC)  # idempotent
+        assert store.completed_labels() == {}
+
+
+class TestChunkedScheduler:
+    def test_chunking_respects_benchmark_groups(self):
+        from repro.explore.runner import _chunks
+
+        spec = SweepSpec(
+            benchmarks=("fpd", "c432"), tc_ratio_points=(1.1, 1.4, 1.7)
+        )
+        jobs = spec.jobs()
+        groups = _chunks(jobs, None)
+        assert [len(g) for g in groups] == [3, 3]
+        split = _chunks(jobs, 2)
+        assert [len(g) for g in split] == [2, 1, 2, 1]
+        # No chunk ever mixes benchmarks (warm state is per-netlist).
+        for chunk in split:
+            assert len({j.benchmark for j in chunk}) == 1
+
+    def test_parallel_workers_match_serial(self, warm_result):
+        # Worker pools fall back to the serial loop transparently where
+        # subprocesses are unavailable; payloads are identical either way.
+        result = run_sweep(Session(), SPEC, workers=2, chunk_size=2)
+        for a, b in zip(warm_result.records, result.records):
+            assert payload_bytes(a) == payload_bytes(b)
+
+    def test_progress_callback_sees_every_point(self):
+        seen = []
+        run_sweep(
+            Session(),
+            SPEC,
+            progress=lambda done, total, label: seen.append((done, total, label)),
+        )
+        assert [s[0] for s in seen] == [1, 2, 3]
+        assert all(s[1] == SPEC.point_count for s in seen)

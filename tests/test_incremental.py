@@ -301,3 +301,87 @@ class TestNetlistBuffering:
         circuit = load_benchmark("fpd")
         with pytest.raises(ValueError):
             remove_buffer_pair(circuit, next(iter(circuit.gates)))
+
+
+class TestTrialExceptionSafety:
+    """A trial that raises mid-flight must leave circuit + engine clean."""
+
+    def test_retime_failure_unwinds_inserted_pair(self, lib, monkeypatch):
+        circuit = load_benchmark("fpd")
+        engine = IncrementalSta(circuit, lib)
+        ref = analyze(circuit, lib)
+        names = set(circuit.gates)
+        candidates = list(circuit.gates)[:3]
+
+        real = IncrementalSta.refresh_structure
+        calls = {"n": 0}
+
+        def flaky(self):
+            calls["n"] += 1
+            # Call pattern inside trial_buffer_pairs: one re-time per
+            # candidate, then the final exit re-sync.  Fail the second
+            # candidate's re-time.
+            if calls["n"] == 2:
+                raise RuntimeError("injected re-time failure")
+            return real(self)
+
+        monkeypatch.setattr(IncrementalSta, "refresh_structure", flaky)
+        with pytest.raises(RuntimeError, match="injected"):
+            trial_buffer_pairs(circuit, lib, candidates, engine=engine)
+        monkeypatch.undo()
+
+        # The in-flight pair was removed and the engine re-synced: both
+        # leave exactly as they arrived.
+        assert set(circuit.gates) == names
+        assert_matches_oracle(engine, circuit, lib, "after injected failure")
+        assert analyze(circuit, lib).arrivals == ref.arrivals
+
+    def test_removal_failure_still_resyncs_engine(self, lib, monkeypatch):
+        circuit = load_benchmark("fpd")
+        engine = IncrementalSta(circuit, lib)
+        candidates = list(circuit.gates)[:2]
+
+        real = remove_buffer_pair
+        calls = {"n": 0}
+
+        def flaky(target, name):
+            calls["n"] += 1
+            real(target, name)
+            if calls["n"] == 1:
+                raise RuntimeError("injected removal failure")
+
+        import repro.buffering.netlist_insertion as netlist_insertion
+
+        monkeypatch.setattr(netlist_insertion, "remove_buffer_pair", flaky)
+        with pytest.raises(RuntimeError, match="injected"):
+            trial_buffer_pairs(circuit, lib, candidates, engine=engine)
+        monkeypatch.undo()
+        assert not any("_buf" in name for name in circuit.gates)
+        assert_matches_oracle(engine, circuit, lib, "after removal failure")
+
+
+class TestRetarget:
+    """Warm-start primitive: re-point an engine at another circuit."""
+
+    def test_retarget_matches_oracle_across_sizings(self, lib):
+        first = load_benchmark("fpd")
+        engine = IncrementalSta(first, lib)
+        second = load_benchmark("fpd")
+        for i, gate in enumerate(second.gates.values()):
+            if i % 3 == 0:
+                gate.cin_ff = 5.0
+        engine.retarget(second)
+        assert engine.circuit is second
+        assert_matches_oracle(engine, second, lib, "retarget resize")
+
+    def test_retarget_matches_oracle_across_structures(self, lib):
+        first = load_benchmark("fpd")
+        engine = IncrementalSta(first, lib)
+        second = load_benchmark("fpd")
+        insert_buffer_pair(second, next(iter(second.gates)), lib)
+        engine.retarget(second)
+        assert_matches_oracle(engine, second, lib, "retarget insert")
+        # ...and back to a pristine copy (the sweep's per-point reset).
+        third = load_benchmark("fpd")
+        engine.retarget(third)
+        assert_matches_oracle(engine, third, lib, "retarget pristine")
