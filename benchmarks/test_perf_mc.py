@@ -1,0 +1,127 @@
+"""Batch Monte-Carlo engine vs the scalar per-corner loop (ISSUE 4 bar).
+
+The scalar flow pays one full STA (plus a library rebuild) per corner;
+the batch engine compiles the circuit once and propagates every corner
+as ``(gates, samples)`` arrays.  This bench measures the speedup over a
+circuit spread, asserts the *same samples* come out of both paths
+(vectorization is a cost optimization, never a result change), and
+asserts the acceptance bar: >= 20x on c880 at 1000 corners, scalar loop
+included at full length (no extrapolation).
+
+Two pytest-benchmark kernels feed the CI perf gate
+(``compare_bench.py`` against ``BENCH_BASELINE.json``).
+"""
+
+import time
+
+import numpy as np
+
+from repro.iscas.loader import load_benchmark
+from repro.mc import (
+    batch_analyze,
+    compile_circuit,
+    mc_scalar_samples,
+    sample_corners,
+)
+from repro.protocol.report import format_table
+
+from conftest import emit
+
+#: The acceptance point: 1000 corners on c880.
+ACCEPT_BENCH = "c880"
+ACCEPT_SAMPLES = 1000
+ACCEPT_SPEEDUP = 20.0
+
+#: Circuits of the comparison table (fewer corners -- the scalar side
+#: dominates wall time).
+TABLE_CIRCUITS = ("fpd", "c432", "c880")
+TABLE_SAMPLES = 200
+
+
+def _batch_seconds(circuit, lib, n_samples):
+    """(wall seconds, samples) of compile + sample + batch propagate."""
+    start = time.perf_counter()
+    compiled = compile_circuit(circuit, lib)
+    corners = sample_corners(lib.tech, n_samples=n_samples, seed=42)
+    result = batch_analyze(compiled, corners)
+    return time.perf_counter() - start, result.critical_delay_ps
+
+
+def test_mc_speedup_table(lib):
+    rows = []
+    for name in TABLE_CIRCUITS:
+        circuit = load_benchmark(name)
+        start = time.perf_counter()
+        scalar = mc_scalar_samples(circuit, lib, n_samples=TABLE_SAMPLES, seed=42)
+        t_scalar = time.perf_counter() - start
+        t_batch, samples = _batch_seconds(circuit, lib, TABLE_SAMPLES)
+        np.testing.assert_allclose(samples, scalar, rtol=1e-12, atol=0.0)
+        rows.append(
+            (
+                name,
+                len(circuit.gates),
+                f"{t_scalar:.3f}",
+                f"{t_batch:.4f}",
+                f"{t_scalar / t_batch:.0f}x",
+            )
+        )
+    emit(
+        f"Monte-Carlo corners -- scalar loop vs batch engine "
+        f"({TABLE_SAMPLES} corners, identical samples)",
+        format_table(
+            ("circuit", "gates", "scalar (s)", "batch (s)", "speedup"), rows
+        ),
+    )
+
+
+def test_mc_batch_beats_scalar_20x_at_1000_samples(lib):
+    circuit = load_benchmark(ACCEPT_BENCH)
+    start = time.perf_counter()
+    scalar = mc_scalar_samples(
+        circuit, lib, n_samples=ACCEPT_SAMPLES, seed=42
+    )
+    t_scalar = time.perf_counter() - start
+    t_batch, samples = _batch_seconds(circuit, lib, ACCEPT_SAMPLES)
+
+    np.testing.assert_allclose(samples, scalar, rtol=1e-12, atol=0.0)
+    speedup = t_scalar / t_batch
+    emit(
+        f"Monte-Carlo acceptance -- {ACCEPT_BENCH} at {ACCEPT_SAMPLES} corners",
+        format_table(
+            ("mode", "wall (s)", "speedup"),
+            (
+                ("scalar per-corner loop", f"{t_scalar:.2f}", "1.0x"),
+                ("batch engine (compile+sample+propagate)",
+                 f"{t_batch:.3f}", f"{speedup:.0f}x"),
+            ),
+        ),
+    )
+    assert speedup >= ACCEPT_SPEEDUP, (
+        f"batch engine only {speedup:.1f}x faster than the scalar loop"
+    )
+
+
+# -- CI perf-gate kernels ----------------------------------------------
+
+
+def test_kernel_mc_batch_c880(benchmark, lib):
+    """1000-corner batch propagation on a prebuilt compilation."""
+    compiled = compile_circuit(load_benchmark(ACCEPT_BENCH), lib)
+
+    def run():
+        corners = sample_corners(lib.tech, n_samples=ACCEPT_SAMPLES, seed=42)
+        return batch_analyze(compiled, corners)
+
+    result = benchmark(run)
+    assert result.n_samples == ACCEPT_SAMPLES
+
+
+def test_kernel_mc_compile_c7552(benchmark, lib):
+    """Struct-of-arrays compilation of the largest paper circuit."""
+    circuit = load_benchmark("c7552")
+
+    def run():
+        return compile_circuit(circuit, lib)
+
+    compiled = benchmark(run)
+    assert compiled.n_gates == len(circuit.gates)

@@ -24,6 +24,7 @@ Domain layers (see README for a tour):
 * :mod:`repro.restructuring`  -- De Morgan logic transformation
 * :mod:`repro.protocol`       -- the Fig. 7 optimization protocol
 * :mod:`repro.explore`        -- Tc-sweep campaigns, Pareto frontiers
+* :mod:`repro.mc`             -- vectorized Monte-Carlo corner engine
 * :mod:`repro.baselines`      -- AMPS-like industrial-tool surrogate
 * :mod:`repro.spice`          -- transistor-level reference simulator
 * :mod:`repro.analysis`       -- area / power / activity analysis

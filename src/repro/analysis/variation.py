@@ -110,24 +110,36 @@ def delay_distribution(
 ) -> DelayDistribution:
     """Monte-Carlo delay distribution of a fixed sizing across corners.
 
-    The cell library is rebuilt per corner on the perturbed technology
-    (logical weights are layout properties and stay fixed; the symmetry
-    factors pick up the perturbed ``R``).
+    The corners are evaluated by the vectorized batch kernel
+    (:func:`repro.mc.kernel.batch_path_delays`): one array draw replaces
+    the per-sample library rebuild of the original loop.  The sampled
+    corners reproduce that loop's rng stream draw for draw
+    (:func:`repro.mc.corners.sample_corners`), and the kernel preserves
+    its operation order, so for the default cell set the samples match
+    the retired scalar implementation (kept as
+    :func:`_scalar_corner_samples` for the equivalence tests) bit for
+    bit on every platform where ``Generator.normal`` is one ziggurat
+    draw -- the tests pin a 1e-12 relative tolerance as the portable
+    contract.
+
+    For a *custom* cell set the batch kernel is a deliberate behaviour
+    fix: the old loop's ``default_library`` rebuild silently swapped
+    default cells under the path at every corner, whereas the kernel
+    evaluates the path's actual ``stage.cell`` constants (only the
+    technology varies, matching the nominal evaluation's cells).
     """
     if n_samples < 2:
         raise ValueError("n_samples must be >= 2")
     if spec is None:
         spec = VariationSpec()
-    rng = np.random.default_rng(seed)
-    nominal = path_delay_ps(path, sizes, library)
+    # Imported lazily: repro.mc's corner sampler imports VariationSpec
+    # from this module at load time.
+    from repro.mc.corners import sample_corners
+    from repro.mc.kernel import batch_path_delays
 
-    samples = np.empty(n_samples)
-    for i in range(n_samples):
-        corner_tech = perturbed_technology(library.tech, spec, rng)
-        corner_lib = default_library(corner_tech,
-                                     k_ratio=library.inverter.k_ratio)
-        corner_path = _rebind_path(path, corner_lib)
-        samples[i] = path_delay_ps(corner_path, sizes, corner_lib)
+    nominal = path_delay_ps(path, sizes, library)
+    corners = sample_corners(library.tech, spec, n_samples, seed)
+    samples = batch_path_delays(path, sizes, library, corners)
 
     return DelayDistribution(
         nominal_ps=nominal,
@@ -149,6 +161,34 @@ def _rebind_path(path: BoundedPath, library: Library) -> BoundedPath:
         for stage in path.stages
     )
     return replace(path, stages=stages)
+
+
+def _scalar_corner_samples(
+    path: BoundedPath,
+    sizes: Sequence[float],
+    library: Library,
+    spec: VariationSpec,
+    n_samples: int,
+    seed: int,
+) -> np.ndarray:
+    """The original per-corner loop: one library rebuild per sample.
+
+    Retired from :func:`delay_distribution` in favour of the batch
+    kernel; kept as the reference the equivalence tests and the
+    ``benchmarks/test_perf_mc.py`` speedup bar compare against.  Note
+    the rebuild re-binds the path to ``default_library`` cells, so this
+    reference is only meaningful for default cell sets (the kernel uses
+    the path's actual cells -- see :func:`delay_distribution`).
+    """
+    rng = np.random.default_rng(seed)
+    samples = np.empty(n_samples)
+    for i in range(n_samples):
+        corner_tech = perturbed_technology(library.tech, spec, rng)
+        corner_lib = default_library(corner_tech,
+                                     k_ratio=library.inverter.k_ratio)
+        corner_path = _rebind_path(path, corner_lib)
+        samples[i] = path_delay_ps(corner_path, sizes, corner_lib)
+    return samples
 
 
 def required_guard_band(

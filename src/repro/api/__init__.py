@@ -19,6 +19,7 @@ from repro.api.job import SCOPES, WEIGHT_MODES, Job, JobError, SweepSpec
 from repro.api.records import (
     KIND_BOUNDS,
     KIND_CHARACTERIZE,
+    KIND_MC,
     KIND_OPTIMIZE_CIRCUIT,
     KIND_OPTIMIZE_PATH,
     KIND_POWER,
@@ -49,6 +50,7 @@ __all__ = [
     "KIND_POWER",
     "KIND_CHARACTERIZE",
     "KIND_SWEEP",
+    "KIND_MC",
     "Session",
     "SessionStats",
     "circuit_state_key",

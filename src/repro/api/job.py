@@ -57,6 +57,10 @@ class Job:
         infeasible constraints (path scope).
     frequency_mhz / activity_vectors:
         Power-job parameters (clock and Monte-Carlo vector count).
+    mc_samples / mc_seed:
+        Monte-Carlo corner-analysis parameters (``Session.mc``): number
+        of sampled process corners and the rng seed.  The optional
+        ``tc_ps`` / ``tc_ratio`` constraint doubles as the yield target.
     label:
         Free-form tag echoed into the run record (campaign bookkeeping).
     """
@@ -76,6 +80,8 @@ class Job:
     allow_restructuring: bool = True
     frequency_mhz: float = 100.0
     activity_vectors: int = 128
+    mc_samples: int = 1000
+    mc_seed: int = 42
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -109,6 +115,10 @@ class Job:
             raise JobError(
                 f"activity_vectors must be >= 2, got {self.activity_vectors}"
             )
+        if self.mc_samples < 2:
+            raise JobError(f"mc_samples must be >= 2, got {self.mc_samples}")
+        if not isinstance(self.mc_seed, int) or isinstance(self.mc_seed, bool):
+            raise JobError(f"mc_seed must be an integer, got {self.mc_seed!r}")
 
     # -- derived -------------------------------------------------------
 

@@ -42,6 +42,9 @@ KIND_CHARACTERIZE = "characterize"
 #: round-trips verbatim; the per-point full records live in the campaign
 #: store, not in this envelope.
 KIND_SWEEP = "sweep"
+#: Monte-Carlo corner analysis: an ``repro.mc.McResult`` payload (delay
+#: distribution, per-endpoint statistics, yield / guard bands).
+KIND_MC = "mc"
 
 KINDS = (
     KIND_OPTIMIZE_PATH,
@@ -50,6 +53,7 @@ KINDS = (
     KIND_POWER,
     KIND_CHARACTERIZE,
     KIND_SWEEP,
+    KIND_MC,
 )
 
 
@@ -108,6 +112,10 @@ class RunRecord:
             return power_to_dict(self.payload)
         if self.kind == KIND_SWEEP:
             return dict(self.payload)
+        if self.kind == KIND_MC:
+            from repro.mc.result import mc_result_to_dict
+
+            return mc_result_to_dict(self.payload)
         return flimit_entries_to_list(self.payload)
 
     def to_dict(self, with_timing: bool = True) -> Dict[str, Any]:
@@ -166,6 +174,10 @@ class RunRecord:
             payload = power_from_dict(raw_payload)
         elif kind == KIND_SWEEP:
             payload = dict(raw_payload)
+        elif kind == KIND_MC:
+            from repro.mc.result import mc_result_from_dict
+
+            payload = mc_result_from_dict(raw_payload)
         else:
             payload = flimit_entries_from_list(raw_payload)
         timing = data.get("timing") or {}

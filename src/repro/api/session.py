@@ -33,10 +33,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.analysis.activity import estimate_activity
 from repro.analysis.area import circuit_area_um
 from repro.analysis.power import estimate_power
+from repro.analysis.variation import VariationSpec
 from repro.api.job import Job, JobError
 from repro.api.records import (
     KIND_BOUNDS,
     KIND_CHARACTERIZE,
+    KIND_MC,
     KIND_OPTIMIZE_CIRCUIT,
     KIND_OPTIMIZE_PATH,
     KIND_POWER,
@@ -46,6 +48,8 @@ from repro.buffering.flimit import TABLE2_GATES, characterize_library
 from repro.buffering.insertion import default_flimits
 from repro.cells.library import Library, default_library
 from repro.iscas.loader import load_benchmark
+from repro.mc.compile import CompiledCircuit
+from repro.mc.result import McResult, mc_analyze
 from repro.netlist.circuit import Circuit
 from repro.process.technology import Technology
 from repro.protocol.optimizer import WarmStart, optimize_circuit, optimize_path
@@ -72,6 +76,8 @@ class SessionStats:
     path_misses: int = 0
     bounds_hits: int = 0
     bounds_misses: int = 0
+    compile_hits: int = 0
+    compile_misses: int = 0
     jobs_run: int = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -133,6 +139,7 @@ class Session:
         self._engines: Dict[StateKey, IncrementalSta] = {}
         self._path_cache: Dict[StateKey, ExtractedPath] = {}
         self._bounds_cache: Dict[StateKey, DelayBounds] = {}
+        self._compiled: Dict[StateKey, "CompiledCircuit"] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -238,6 +245,28 @@ class Session:
         self._bounds_cache[key] = bounds
         return bounds
 
+    def compiled(self, circuit: Circuit) -> CompiledCircuit:
+        """Batch-engine compilation, memoized on the circuit *structure*.
+
+        The struct-of-arrays form (levelized topology, fan-in indices,
+        cell constants) is a pure function of the structure, so a
+        Tc-sweep's many sizings of one netlist share one compilation;
+        only the cheap sizing-dependent arrays are re-bound per call
+        (:meth:`~repro.mc.compile.CompiledCircuit.bind`), which also
+        means the returned object always reflects ``circuit``'s
+        *current* sizes -- stale bindings are impossible.
+        """
+        key = circuit_structure_key(circuit)
+        comp = self._compiled.get(key)
+        if comp is None:
+            self.stats.compile_misses += 1
+            comp = CompiledCircuit(circuit, self._library)
+            self._compiled[key] = comp
+        else:
+            self.stats.compile_hits += 1
+            comp.bind(circuit)
+        return comp
+
     def clear_caches(self) -> None:
         """Drop every memoized artefact (the Flimit table included)."""
         self._flimits = None
@@ -246,6 +275,7 @@ class Session:
         self._engines.clear()
         self._path_cache.clear()
         self._bounds_cache.clear()
+        self._compiled.clear()
 
     # -- job plumbing --------------------------------------------------
 
@@ -388,6 +418,58 @@ class Session:
                 "area_um": float(circuit_area_um(circuit, self._library)),
                 "mean_activity": float(activity.mean_rate),
             },
+            elapsed_s=time.perf_counter() - started,
+            created_unix=time.time(),
+        )
+
+    def mc(
+        self,
+        job: Job,
+        spec: Optional[VariationSpec] = None,
+        target_yield: float = 0.99,
+    ) -> RunRecord:
+        """Monte-Carlo corner analysis of the job's circuit (``KIND_MC``).
+
+        The sizing stays fixed while ``job.mc_samples`` process corners
+        (seeded by ``job.mc_seed``) are evaluated in one vectorized batch
+        over the structure-cached compilation.  A constraint on the job
+        (``tc_ps``, or ``tc_ratio`` as a multiple of the critical path's
+        ``Tmin``) becomes the yield target; without one the record still
+        carries the distribution and guard bands.
+        """
+        started = time.perf_counter()
+        self.stats.jobs_run += 1
+        circuit = self.resolve_circuit(job)
+        # Only a Tmin-relative constraint needs the (eq. 4) bounds solve;
+        # an absolute tc_ps must not pay extraction + fixed point for a
+        # value it would discard.
+        tc_ps: Optional[float] = job.tc_ps
+        if tc_ps is None and job.tc_ratio is not None:
+            tc_ps = self.resolve_tc(job, self.path_bounds(circuit).tmin_ps)
+        result: McResult = mc_analyze(
+            circuit,
+            self._library,
+            spec=spec,
+            n_samples=job.mc_samples,
+            seed=job.mc_seed,
+            tc_ps=tc_ps,
+            target_yield=target_yield,
+            compiled=self.compiled(circuit),
+        )
+        extra: Dict[str, object] = {
+            "nominal_ps": float(result.nominal_ps),
+            "p99_ps": float(result.p99_ps),
+            "guard_band": float(result.guard_band),
+            "required_guard_band": float(result.required_guard_band),
+        }
+        if tc_ps is not None:
+            extra["tc_ps"] = float(tc_ps)
+            extra["yield"] = float(result.yield_fraction or 0.0)
+        return RunRecord(
+            kind=KIND_MC,
+            job=job,
+            payload=result,
+            extra=extra,
             elapsed_s=time.perf_counter() - started,
             created_unix=time.time(),
         )

@@ -8,6 +8,7 @@ Subcommands mirror the protocol steps:
 * ``pops report <benchmark>``       -- STA timing report
 * ``pops power <benchmark>``        -- area / activity / power report
 * ``pops sweep <benchmark...>``     -- Tc-sweep campaign + Pareto frontier
+* ``pops mc <benchmark...>``        -- Monte-Carlo corner analysis / yield
 * ``pops benchmarks``               -- list the registered circuits
 
 Every analysis subcommand accepts ``--json`` to emit the run record as a
@@ -260,6 +261,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         with_power=not args.no_power,
+        with_yield=args.with_yield,
         progress=progress if not args.quiet else None,
     )
     if getattr(args, "json", False):
@@ -275,6 +277,101 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"elapsed     : {result.elapsed_s:.2f} s")
     if args.store is not None:
         print(f"campaign    : {args.store}")
+    return 0
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    import os
+
+    session = _session(args)
+    records = []
+    for benchmark in args.benchmarks:
+        job = Job(
+            benchmark=benchmark,
+            tc_ps=args.yield_at,
+            mc_samples=args.samples,
+            mc_seed=args.seed,
+        )
+        records.append(session.mc(job))
+
+    if args.store is not None:
+        os.makedirs(args.store, exist_ok=True)
+        for record in records:
+            path = os.path.join(args.store, f"{record.job.benchmark}.mc.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(record.to_json(indent=2))
+                handle.write("\n")
+
+    if getattr(args, "json", False):
+        if len(records) == 1:
+            print(records[0].to_json(indent=2))
+        else:
+            print(
+                json.dumps(
+                    [record.to_dict() for record in records],
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        return 0
+
+    rows = []
+    for record in records:
+        result = record.payload
+        rows.append(
+            (
+                record.job.benchmark,
+                result.n_samples,
+                f"{result.nominal_ps:.1f}",
+                f"{result.mean_ps:.1f}",
+                f"{result.std_ps:.1f}",
+                f"{result.p99_ps:.1f}",
+                f"{result.guard_band:.3f}",
+                "-"
+                if result.yield_fraction is None
+                else f"{result.yield_fraction:.3f}",
+            )
+        )
+    print(
+        format_table(
+            (
+                "circuit",
+                "corners",
+                "nominal (ps)",
+                "mean (ps)",
+                "std (ps)",
+                "p99 (ps)",
+                "guard band",
+                "yield",
+            ),
+            rows,
+            title="Monte-Carlo corner analysis (fixed sizing)",
+        )
+    )
+    if len(records) == 1:
+        result = records[0].payload
+        worst = sorted(
+            result.endpoints, key=lambda e: e.nominal_ps, reverse=True
+        )[: args.endpoints]
+        endpoint_rows = [
+            (
+                e.net,
+                f"{e.nominal_ps:.1f}",
+                f"{e.p99_ps:.1f}",
+                "-" if e.yield_frac is None else f"{e.yield_frac:.3f}",
+            )
+            for e in worst
+        ]
+        print()
+        print(
+            format_table(
+                ("endpoint", "nominal (ps)", "p99 (ps)", "yield"),
+                endpoint_rows,
+                title=f"Worst endpoints ({result.name})",
+            )
+        )
+    if args.store is not None:
+        print(f"\nrecords     : {args.store}/<benchmark>.mc.json")
     return 0
 
 
@@ -408,9 +505,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the power objective in the summary",
     )
     p_sweep.add_argument(
+        "--with-yield",
+        action="store_true",
+        help="attach Monte-Carlo yields (fourth Pareto objective)",
+    )
+    p_sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress"
     )
     p_sweep.add_argument("--json", action="store_true", help="emit the sweep record")
+
+    p_mc = sub.add_parser(
+        "mc", help="Monte-Carlo corner analysis (delay distribution, yield)"
+    )
+    p_mc.add_argument(
+        "benchmarks", nargs="+", help="benchmark names (see 'benchmarks')"
+    )
+    p_mc.add_argument("--bench-dir", default=None, help="real .bench directory")
+    p_mc.add_argument(
+        "--samples", type=int, default=1000, help="process corners to sample"
+    )
+    p_mc.add_argument("--seed", type=int, default=42, help="corner rng seed")
+    p_mc.add_argument(
+        "--yield-at",
+        type=float,
+        default=None,
+        help="delay constraint (ps) to report yield against",
+    )
+    p_mc.add_argument(
+        "--endpoints",
+        type=int,
+        default=5,
+        help="worst endpoints to detail (single-benchmark runs)",
+    )
+    p_mc.add_argument(
+        "--store",
+        default=None,
+        help="directory for per-benchmark record JSON files",
+    )
+    p_mc.add_argument("--json", action="store_true", help="emit the run record(s)")
 
     p_report = sub.add_parser("report", help="STA timing report")
     p_report.add_argument("benchmark")
@@ -439,6 +571,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "power": _cmd_power,
     "sweep": _cmd_sweep,
+    "mc": _cmd_mc,
 }
 
 

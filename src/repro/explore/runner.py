@@ -47,6 +47,12 @@ from repro.protocol.optimizer import WarmStart
 #: Vector count for the summary's power estimates (matches Job default).
 POWER_VECTORS = 128
 
+#: Corner count / seed for the summary's Monte-Carlo yield column.
+#: Small on purpose: a yield estimate per point, not a sign-off run
+#: (``pops mc`` / ``Session.mc`` own the deep-sample workload).
+YIELD_SAMPLES = 200
+YIELD_SEED = 42
+
 #: Per-point progress callback: ``(done, total, label)``.
 ProgressFn = Callable[[int, int, str], None]
 
@@ -229,6 +235,28 @@ def _parallel_chunks(
         raise _ChunkJobError(first_error)
 
 
+def _yield_for(
+    session: Session,
+    record: RunRecord,
+    corners,
+) -> Optional[float]:
+    """Monte-Carlo yield of a circuit-scope point at its own ``tc_ps``.
+
+    Evaluated by the batch corner engine over the session's
+    structure-cached compilation: one corner draw (``corners``) is
+    shared by every point, so a 20-point sweep pays one sampling and 20
+    cheap batch propagations.  Path-scope points return ``None`` (no
+    netlist to compile).
+    """
+    from repro.mc.kernel import batch_analyze
+
+    if record.kind != KIND_OPTIMIZE_CIRCUIT:
+        return None
+    tc_ps = float(record.extra["tc_ps"])
+    compiled = session.compiled(record.payload.circuit)
+    return batch_analyze(compiled, corners).yield_at(tc_ps)
+
+
 def _power_for(
     session: Session,
     record: RunRecord,
@@ -260,6 +288,7 @@ def run_sweep(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     with_power: bool = True,
+    with_yield: bool = False,
     progress: Optional[ProgressFn] = None,
 ) -> SweepResult:
     """Run (or resume) a sweep campaign.
@@ -281,6 +310,11 @@ def run_sweep(
     with_power:
         Attach deterministic power estimates to circuit-scope summary
         points (the third Pareto objective).
+    with_yield:
+        Attach Monte-Carlo yields (fraction of :data:`YIELD_SAMPLES`
+        process corners meeting each point's own ``tc_ps``) to
+        circuit-scope summary points -- the fourth Pareto objective.
+        One corner draw is shared across the whole campaign.
     progress:
         Optional ``(done, total, label)`` callback per completed point.
     """
@@ -355,10 +389,25 @@ def run_sweep(
             label = record.job.name if record.job else ""
             power_by_label[label] = _power_for(session, record, activity_memo)
 
+    yield_by_label: Dict[str, Optional[float]] = {}
+    if with_yield:
+        from repro.mc.corners import sample_corners
+
+        corners = sample_corners(
+            session.library.tech, n_samples=YIELD_SAMPLES, seed=YIELD_SEED
+        )
+        for record in ordered:
+            label = record.job.name if record.job else ""
+            yield_by_label[label] = _yield_for(session, record, corners)
+
     return SweepResult(
         spec=spec,
         records=ordered,
-        summary=summarize(ordered, power_by_label=power_by_label),
+        summary=summarize(
+            ordered,
+            power_by_label=power_by_label,
+            yield_by_label=yield_by_label,
+        ),
         computed=len(fresh),
         resumed=len(done_records),
         elapsed_s=time.perf_counter() - started,

@@ -23,7 +23,9 @@ from repro.api.records import (
 from repro.protocol.report import format_table
 
 #: The objectives frontier extraction minimizes, in report order.
-OBJECTIVES = ("delay_ps", "area_um", "power_uw")
+#: ``yield_frac`` is maximized, so it enters the dominance filter
+#: negated (see :meth:`SweepPoint.objectives`).
+OBJECTIVES = ("delay_ps", "area_um", "power_uw", "yield_frac")
 
 
 @dataclass(frozen=True)
@@ -31,8 +33,9 @@ class SweepPoint:
     """One grid point's scalar outcome.
 
     ``power_uw`` is ``None`` for path-scope points (no netlist to run
-    the power model on); the dominance filter treats missing metrics as
-    incomparable, so mixed campaigns still order cleanly.
+    the power model on) and ``yield_frac`` is ``None`` unless the sweep
+    attached Monte-Carlo yields; the dominance filter treats missing
+    metrics as incomparable, so mixed campaigns still order cleanly.
     """
 
     label: str
@@ -48,13 +51,25 @@ class SweepPoint:
     feasible: bool
     method: str
     elapsed_s: float
+    #: Fraction of sampled process corners meeting the point's own
+    #: ``tc_ps`` (``repro.mc`` batch analysis); the fourth Pareto axis.
+    yield_frac: Optional[float] = None
 
     def objectives(self) -> Tuple[Optional[float], ...]:
-        """The minimized coordinate vector (delay, area, power)."""
-        return (self.delay_ps, self.area_um, self.power_uw)
+        """The minimized coordinate vector (delay, area, power, -yield)."""
+        return (
+            self.delay_ps,
+            self.area_um,
+            self.power_uw,
+            None if self.yield_frac is None else -self.yield_frac,
+        )
 
 
-def point_from_record(record: RunRecord, power_uw: Optional[float] = None) -> SweepPoint:
+def point_from_record(
+    record: RunRecord,
+    power_uw: Optional[float] = None,
+    yield_frac: Optional[float] = None,
+) -> SweepPoint:
     """Collapse one optimize record to its sweep coordinates."""
     job = record.job
     if job is None:
@@ -90,6 +105,7 @@ def point_from_record(record: RunRecord, power_uw: Optional[float] = None) -> Sw
         feasible=feasible,
         method=method,
         elapsed_s=float(record.elapsed_s),
+        yield_frac=yield_frac,
     )
 
 
@@ -145,6 +161,7 @@ class SweepSummary:
                     f"{p.delay_ps:.1f}",
                     f"{p.area_um:.1f}",
                     "-" if p.power_uw is None else f"{p.power_uw:.2f}",
+                    "-" if p.yield_frac is None else f"{p.yield_frac:.3f}",
                     "yes" if p.feasible else "no",
                     p.method,
                 )
@@ -160,6 +177,7 @@ class SweepSummary:
                 "delay (ps)",
                 "area (um)",
                 "power (uW)",
+                "yield",
                 "feasible",
                 "method",
             ),
@@ -186,13 +204,19 @@ class SweepSummary:
 def summarize(
     records: Sequence[RunRecord],
     power_by_label: Optional[Dict[str, Optional[float]]] = None,
+    yield_by_label: Optional[Dict[str, Optional[float]]] = None,
 ) -> SweepSummary:
     """Build the summary for a list of optimize records in grid order."""
     power_by_label = power_by_label or {}
+    yield_by_label = yield_by_label or {}
     return SweepSummary(
         points=tuple(
             point_from_record(
-                record, power_uw=power_by_label.get(record.job.name if record.job else "")
+                record,
+                power_uw=power_by_label.get(record.job.name if record.job else ""),
+                yield_frac=yield_by_label.get(
+                    record.job.name if record.job else ""
+                ),
             )
             for record in records
         )

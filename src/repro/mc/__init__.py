@@ -1,0 +1,60 @@
+"""Vectorized Monte-Carlo / corner analysis over compiled circuits.
+
+The scalar flow evaluates one technology corner at a time; this package
+turns variation analysis into a batch workload::
+
+    from repro.mc import compile_circuit, mc_analyze
+
+    compiled = compile_circuit(circuit, library)     # once per structure
+    result = mc_analyze(circuit, library, n_samples=1000,
+                        tc_ps=900.0, compiled=compiled)
+    print(result.guard_band, result.yield_fraction)
+
+Pieces:
+
+* :mod:`repro.mc.corners`  -- corner sampling as array draws, rng-stream
+  compatible with the scalar ``perturbed_technology`` loop;
+* :mod:`repro.mc.compile`  -- struct-of-arrays circuit compilation
+  (levelized topology, padded fan-in, per-gate cell constants);
+* :mod:`repro.mc.kernel`   -- the batch STA kernel (all corners at once,
+  bit-identical to ``timing.sta.analyze`` at the nominal corner) and the
+  batch path-delay kernel behind ``analysis.variation``;
+* :mod:`repro.mc.result`   -- :class:`McResult` distributions / yields /
+  guard bands with lossless JSON round-tripping, plus the scalar
+  per-corner reference loop.
+"""
+
+from repro.mc.compile import CompiledCircuit, compile_circuit
+from repro.mc.corners import (
+    CornerSamples,
+    nominal_corners,
+    sample_corners,
+)
+from repro.mc.kernel import BatchStaResult, batch_analyze, batch_path_delays
+from repro.mc.result import (
+    McEndpoint,
+    McResult,
+    mc_analyze,
+    mc_result_from_dict,
+    mc_result_to_dict,
+    mc_scalar_samples,
+    variation_spec_to_dict,
+)
+
+__all__ = [
+    "CompiledCircuit",
+    "compile_circuit",
+    "CornerSamples",
+    "nominal_corners",
+    "sample_corners",
+    "BatchStaResult",
+    "batch_analyze",
+    "batch_path_delays",
+    "McEndpoint",
+    "McResult",
+    "mc_analyze",
+    "mc_result_to_dict",
+    "mc_result_from_dict",
+    "mc_scalar_samples",
+    "variation_spec_to_dict",
+]

@@ -1,0 +1,229 @@
+"""One-time struct-of-arrays compilation of a circuit for the batch engine.
+
+The scalar STA (:func:`repro.timing.sta.analyze`) walks Python dicts --
+perfect for one corner, hopeless for thousands.  :class:`CompiledCircuit`
+flattens everything the eq. 1-3 math needs into numpy arrays once per
+*structure*:
+
+* a **net row space**: primary inputs first, then every gate in
+  levelized topological order (all of a gate's fan-in lives in earlier
+  rows, and gates of one level are contiguous, so the kernel can process
+  a whole level with a handful of array ops);
+* **padded fan-in indices** per gate (CSR-like, ``max_fanin`` columns
+  with a validity mask) pointing into the net row space;
+* **per-gate cell constants** of the delay model -- ``k``, the logical
+  weights, the parasitic coefficient, the inversion flag -- gathered
+  from the characterised library.
+
+Sizing is bound separately (:meth:`CompiledCircuit.bind`): per-gate
+``C_IN``, external loads and every derived sizing-only scalar (total
+load, Miller coupling factors) are cheap array refreshes, so one
+compiled structure serves every sizing of the same netlist -- exactly
+the :meth:`~repro.netlist.circuit.Circuit.structure_key` granularity the
+:class:`~repro.api.session.Session` caches on.
+
+Sizes and loads are resolved through the scalar engine's own kernels
+(:func:`~repro.timing.sta.gate_sizes`,
+:func:`~repro.timing.sta.external_loads`), which pins the batch kernel's
+bit-identity with :func:`~repro.timing.sta.analyze` at the nominal
+corner: both engines see the very same floats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cells.library import Library
+from repro.netlist.circuit import Circuit
+from repro.netlist.wireload import WireLoadModel
+from repro.timing.sta import external_loads, gate_sizes
+
+
+class CompiledCircuit:
+    """Struct-of-arrays form of one circuit structure plus a bound sizing.
+
+    Parameters mirror :func:`~repro.timing.sta.analyze`; construction
+    performs the structure compilation *and* binds the circuit's current
+    sizing (call :meth:`bind` to re-bind after ``cin_ff`` mutations).
+
+    Attributes (structure, fixed after construction)
+    ------------------------------------------------
+    ``names``
+        Gate names in compiled (levelized) order; gate ``g`` occupies
+        net row ``n_inputs + g``.
+    ``row_of``
+        ``net name -> row`` for primary inputs and gates.
+    ``levels``
+        ``(start, end)`` gate-id slices, one per topological level.
+    ``fanin_rows`` / ``fanin_mask``
+        ``(n_gates, max_fanin)`` padded fan-in rows and validity mask.
+    ``inverting``
+        Per-gate polarity flip flag.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: Library,
+        input_transition_ps: float = 0.0,
+        output_load_ff: Optional[float] = None,
+        wire_model: Optional[WireLoadModel] = None,
+    ) -> None:
+        circuit.validate()
+        self.library = library
+        self.input_transition_ps = float(input_transition_ps)
+        self.output_load_ff = (
+            4.0 * library.cref if output_load_ff is None else float(output_load_ff)
+        )
+        self.wire_model = wire_model
+        self.name = circuit.name
+        self.structure_key = circuit.structure_key()
+
+        # -- levelized gate order and net row space --------------------
+        topo = circuit.topological_order()
+        level: Dict[str, int] = {net: 0 for net in circuit.inputs}
+        for gate_name in topo:
+            gate = circuit.gates[gate_name]
+            level[gate_name] = 1 + max(
+                (level[source] for source in gate.fanin), default=0
+            )
+        max_level = max((level[name] for name in topo), default=0)
+        by_level: List[List[str]] = [[] for _ in range(max_level + 1)]
+        for gate_name in topo:  # stable within a level: topological order
+            by_level[level[gate_name]].append(gate_name)
+
+        self.n_inputs = len(circuit.inputs)
+        self.names: Tuple[str, ...] = tuple(
+            name for bucket in by_level for name in bucket
+        )
+        self.n_gates = len(self.names)
+        self.row_of: Dict[str, int] = {
+            net: row for row, net in enumerate(circuit.inputs)
+        }
+        for gate_id, name in enumerate(self.names):
+            self.row_of[name] = self.n_inputs + gate_id
+
+        self.levels: Tuple[Tuple[int, int], ...] = tuple()
+        start = 0
+        slices = []
+        for bucket in by_level:
+            if not bucket:
+                continue
+            slices.append((start, start + len(bucket)))
+            start += len(bucket)
+        self.levels = tuple(slices)
+
+        # -- padded fan-in ---------------------------------------------
+        max_fanin = max(
+            (len(circuit.gates[name].fanin) for name in self.names), default=1
+        )
+        self.fanin_rows = np.zeros((self.n_gates, max_fanin), dtype=np.intp)
+        self.fanin_mask = np.zeros((self.n_gates, max_fanin), dtype=bool)
+        for gate_id, name in enumerate(self.names):
+            for slot, source in enumerate(circuit.gates[name].fanin):
+                self.fanin_rows[gate_id, slot] = self.row_of[source]
+                self.fanin_mask[gate_id, slot] = True
+
+        # -- per-gate cell constants -----------------------------------
+        self.k_ratio = np.empty(self.n_gates)
+        self.dw_hl = np.empty(self.n_gates)
+        self.dw_lh = np.empty(self.n_gates)
+        self.p_intrinsic = np.empty(self.n_gates)
+        self.inverting = np.zeros(self.n_gates, dtype=bool)
+        for gate_id, name in enumerate(self.names):
+            cell = library.cell(circuit.gates[name].kind)
+            self.k_ratio[gate_id] = cell.k_ratio
+            self.dw_hl[gate_id] = cell.dw_hl
+            self.dw_lh[gate_id] = cell.dw_lh
+            self.p_intrinsic[gate_id] = cell.p_intrinsic
+            self.inverting[gate_id] = cell.inverting
+
+        # Symmetry factor of the falling edge (eq. 3) is sizing- and
+        # corner-free: S_HL = DW_HL * (1 + k) / 2.  The rising edge picks
+        # up the perturbed R per corner, so the kernel builds it itself.
+        self.s_hl = self.dw_hl * (1.0 + self.k_ratio) / 2.0
+
+        self.output_names: Tuple[str, ...] = tuple(circuit.outputs)
+        self.output_rows = np.array(
+            [self.row_of[net] for net in circuit.outputs], dtype=np.intp
+        )
+
+        self.bind(circuit)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledCircuit({self.name!r}, gates={self.n_gates}, "
+            f"levels={len(self.levels)})"
+        )
+
+    @property
+    def n_nets(self) -> int:
+        """Rows in the net space (primary inputs + gates)."""
+        return self.n_inputs + self.n_gates
+
+    def gate_row(self, name: str) -> int:
+        """Net row of a gate or primary input (test/report helper)."""
+        return self.row_of[name]
+
+    # -- sizing binding ------------------------------------------------
+
+    def bind(self, circuit: Circuit) -> "CompiledCircuit":
+        """(Re-)bind the per-gate sizing state of ``circuit``.
+
+        ``circuit`` must share this compilation's structure key; sizes
+        default to the library minimum exactly as in the scalar engine,
+        and external loads are assembled by the scalar engine's own
+        summation kernel so every float matches ``analyze``.
+        """
+        if circuit.structure_key() != self.structure_key:
+            raise ValueError(
+                f"circuit {circuit.name!r} does not match the compiled "
+                "structure; compile it instead of re-binding"
+            )
+        sizes = gate_sizes(circuit, self.library)
+        loads = external_loads(
+            circuit,
+            self.library,
+            output_load_ff=self.output_load_ff,
+            sizes=sizes,
+            wire_model=self.wire_model,
+        )
+        self.cin = np.array([sizes[name] for name in self.names])
+        self.load = np.array([loads[name] for name in self.names])
+        # Total load (external + own junction parasitic), eq. 2's C_L:
+        # same operation order as delay_model.total_load.
+        self.cl_total = self.p_intrinsic * self.cin + self.load
+        # Miller coupling factors per switching-input polarity (eq. 1);
+        # cm follows Cell.coupling_cap's operation order exactly.
+        cm_rise = 0.5 * self.cin * self.k_ratio / (1.0 + self.k_ratio)
+        cm_fall = 0.5 * self.cin / (1.0 + self.k_ratio)
+        self.half_coupling_rise = 0.5 * (
+            1.0 + 2.0 * cm_rise / (cm_rise + self.cl_total)
+        )
+        self.half_coupling_fall = 0.5 * (
+            1.0 + 2.0 * cm_fall / (cm_fall + self.cl_total)
+        )
+        return self
+
+    def sizes_dict(self) -> Dict[str, float]:
+        """Currently bound per-gate input capacitances (a copy)."""
+        return {name: float(c) for name, c in zip(self.names, self.cin)}
+
+
+def compile_circuit(
+    circuit: Circuit,
+    library: Library,
+    input_transition_ps: float = 0.0,
+    output_load_ff: Optional[float] = None,
+    wire_model: Optional[WireLoadModel] = None,
+) -> CompiledCircuit:
+    """Compile ``circuit`` for the batch engine (convenience wrapper)."""
+    return CompiledCircuit(
+        circuit,
+        library,
+        input_transition_ps=input_transition_ps,
+        output_load_ff=output_load_ff,
+        wire_model=wire_model,
+    )

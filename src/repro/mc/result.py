@@ -1,0 +1,319 @@
+"""Circuit-level Monte-Carlo results: distributions, yield, guard bands.
+
+:func:`mc_analyze` is the subsystem's front door: compile (or reuse) the
+batch form of a circuit, evaluate the nominal corner and ``n_samples``
+perturbed corners in one vectorized pass, and collapse the outcome into
+an :class:`McResult` -- the critical-delay distribution, per-endpoint
+statistics, the guard band a constraint would need, and (when the run
+names a constraint) the yield it achieves.  The result is JSON-lossless
+(:func:`mc_result_to_dict` / :func:`mc_result_from_dict`) so
+``KIND_MC`` run records archive and round-trip like every other record.
+
+:func:`mc_scalar_samples` is the per-corner reference loop the batch
+kernel is measured against (and must agree with): one perturbed
+technology, one rebuilt library, one full scalar STA per corner --
+the circuit-scale analogue of the original
+:func:`repro.analysis.variation.delay_distribution` implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.variation import (
+    DelayDistribution,
+    VariationSpec,
+    perturbed_technology,
+)
+from repro.cells.library import Library, default_library
+from repro.mc.compile import CompiledCircuit, compile_circuit
+from repro.mc.corners import nominal_corners, sample_corners
+from repro.mc.kernel import batch_analyze
+from repro.netlist.circuit import Circuit
+from repro.timing.sta import analyze, gate_sizes
+
+
+@dataclass(frozen=True)
+class McEndpoint:
+    """Per-primary-output delay statistics across the sampled corners."""
+
+    net: str
+    nominal_ps: float
+    mean_ps: float
+    std_ps: float
+    p99_ps: float
+    #: Fraction of corners meeting the run's ``tc_ps`` (None without one).
+    yield_frac: Optional[float]
+
+
+@dataclass(frozen=True)
+class McResult:
+    """One circuit-level Monte-Carlo run, fully summarised.
+
+    ``samples_ps`` keeps the raw per-corner critical delays so every
+    statistic (and any later yield query) is reproducible from the
+    record alone.
+    """
+
+    name: str
+    n_samples: int
+    seed: int
+    spec: VariationSpec
+    tc_ps: Optional[float]
+    target_yield: float
+    nominal_ps: float
+    samples_ps: np.ndarray
+    endpoints: Tuple[McEndpoint, ...]
+
+    # -- derived statistics -------------------------------------------
+
+    @property
+    def mean_ps(self) -> float:
+        """Mean critical delay over the corners (ps)."""
+        return float(self.samples_ps.mean())
+
+    @property
+    def std_ps(self) -> float:
+        """Critical-delay standard deviation (ps)."""
+        return float(self.samples_ps.std())
+
+    @property
+    def p01_ps(self) -> float:
+        """1st percentile of the critical delay (ps)."""
+        return float(np.percentile(self.samples_ps, 1))
+
+    @property
+    def p50_ps(self) -> float:
+        """Median critical delay (ps)."""
+        return float(np.percentile(self.samples_ps, 50))
+
+    @property
+    def p99_ps(self) -> float:
+        """99th percentile of the critical delay (ps)."""
+        return float(np.percentile(self.samples_ps, 99))
+
+    @property
+    def guard_band(self) -> float:
+        """Multiplicative 99%-yield margin: ``p99 / nominal``."""
+        if self.nominal_ps <= 0:
+            return 1.0
+        return self.p99_ps / self.nominal_ps
+
+    @property
+    def required_guard_band(self) -> float:
+        """The Tc multiplier ``target_yield`` of corners would need."""
+        needed = float(
+            np.percentile(self.samples_ps, 100.0 * self.target_yield)
+        )
+        return needed / self.nominal_ps
+
+    @property
+    def yield_fraction(self) -> Optional[float]:
+        """Yield at the run's constraint (None when no ``tc_ps`` given)."""
+        if self.tc_ps is None:
+            return None
+        return self.yield_at(self.tc_ps)
+
+    def yield_at(self, tc_ps: float) -> float:
+        """Fraction of corners whose critical delay meets ``tc_ps``."""
+        if tc_ps <= 0:
+            raise ValueError("tc_ps must be positive")
+        return float(np.mean(self.samples_ps <= tc_ps))
+
+    def distribution(self) -> DelayDistribution:
+        """The critical-delay distribution in the path-level container."""
+        return DelayDistribution(
+            nominal_ps=self.nominal_ps,
+            mean_ps=self.mean_ps,
+            std_ps=self.std_ps,
+            p01_ps=self.p01_ps,
+            p50_ps=self.p50_ps,
+            p99_ps=self.p99_ps,
+            samples_ps=self.samples_ps,
+        )
+
+
+def mc_analyze(
+    circuit: Circuit,
+    library: Library,
+    spec: Optional[VariationSpec] = None,
+    n_samples: int = 1000,
+    seed: int = 42,
+    tc_ps: Optional[float] = None,
+    target_yield: float = 0.99,
+    compiled: Optional[CompiledCircuit] = None,
+    input_transition_ps: float = 0.0,
+    output_load_ff: Optional[float] = None,
+) -> McResult:
+    """Vectorized Monte-Carlo corner analysis of a sized circuit.
+
+    The sizing is held fixed at its nominal resolution (per-gate
+    ``cin_ff``, library minimum where unset) while the process corners
+    vary -- the paper's "how much margin must a blind flow carry"
+    question lifted from one path to the whole netlist.
+
+    ``compiled`` reuses an existing compilation (it must already be
+    bound to ``circuit``'s sizing -- the Session cache's job);
+    ``tc_ps`` attaches a constraint so the result carries yields.
+    """
+    if n_samples < 2:
+        raise ValueError("n_samples must be >= 2")
+    if not 0.0 < target_yield < 1.0:
+        raise ValueError("target_yield must lie in (0, 1)")
+    if tc_ps is not None and tc_ps <= 0:
+        raise ValueError("tc_ps must be positive")
+    if spec is None:
+        spec = VariationSpec()
+    if compiled is None:
+        compiled = compile_circuit(
+            circuit,
+            library,
+            input_transition_ps=input_transition_ps,
+            output_load_ff=output_load_ff,
+        )
+    elif compiled.library is not library:
+        raise ValueError(
+            "compiled circuit was built against a different library"
+        )
+
+    nominal = batch_analyze(compiled, nominal_corners(library.tech, 1))
+    corners = sample_corners(library.tech, spec, n_samples, seed)
+    batch = batch_analyze(compiled, corners)
+
+    nominal_worst = nominal.endpoint_arrivals()[:, 0]
+    worst = batch.endpoint_arrivals()
+    endpoints: List[McEndpoint] = []
+    for i, net in enumerate(compiled.output_names):
+        endpoints.append(
+            McEndpoint(
+                net=net,
+                nominal_ps=float(nominal_worst[i]),
+                mean_ps=float(worst[i].mean()),
+                std_ps=float(worst[i].std()),
+                p99_ps=float(np.percentile(worst[i], 99)),
+                yield_frac=(
+                    None if tc_ps is None else float(np.mean(worst[i] <= tc_ps))
+                ),
+            )
+        )
+    return McResult(
+        name=circuit.name,
+        n_samples=n_samples,
+        seed=seed,
+        spec=spec,
+        tc_ps=None if tc_ps is None else float(tc_ps),
+        target_yield=float(target_yield),
+        nominal_ps=float(nominal.critical_delay_ps[0]),
+        samples_ps=batch.critical_delay_ps,
+        endpoints=tuple(endpoints),
+    )
+
+
+def mc_scalar_samples(
+    circuit: Circuit,
+    library: Library,
+    spec: Optional[VariationSpec] = None,
+    n_samples: int = 1000,
+    seed: int = 42,
+    input_transition_ps: float = 0.0,
+    output_load_ff: Optional[float] = None,
+) -> np.ndarray:
+    """Per-corner reference loop: one scalar STA per sampled technology.
+
+    Semantics match :func:`mc_analyze` exactly -- fixed nominal sizing
+    and output load, library rebuilt on each perturbed technology (the
+    default cell set is a pure function of ``k_ratio``, so the rebuild
+    changes only the technology) -- and the sampled corners are the same
+    rng stream :func:`~repro.mc.corners.sample_corners` reproduces.
+    This is the oracle the equivalence tests and the >= 20x performance
+    bar in ``benchmarks/test_perf_mc.py`` measure the batch kernel
+    against.
+    """
+    if spec is None:
+        spec = VariationSpec()
+    sizes = gate_sizes(circuit, library)
+    load = 4.0 * library.cref if output_load_ff is None else output_load_ff
+    rng = np.random.default_rng(seed)
+    samples = np.empty(n_samples)
+    for i in range(n_samples):
+        corner_tech = perturbed_technology(library.tech, spec, rng)
+        corner_lib = default_library(
+            corner_tech, k_ratio=library.inverter.k_ratio
+        )
+        samples[i] = analyze(
+            circuit,
+            corner_lib,
+            input_transition_ps=input_transition_ps,
+            output_load_ff=load,
+            sizes=sizes,
+        ).critical_delay_ps
+    return samples
+
+
+# -- serialization -----------------------------------------------------
+
+
+def variation_spec_to_dict(spec: VariationSpec) -> Dict[str, float]:
+    """JSON-native view of a :class:`VariationSpec`."""
+    return {
+        "tau_sigma": float(spec.tau_sigma),
+        "r_sigma": float(spec.r_sigma),
+        "vt_sigma": float(spec.vt_sigma),
+        "c_gate_sigma": float(spec.c_gate_sigma),
+        "c_junction_sigma": float(spec.c_junction_sigma),
+    }
+
+
+def mc_result_to_dict(result: McResult) -> Dict[str, Any]:
+    """Lossless JSON-compatible representation of an :class:`McResult`."""
+    return {
+        "name": result.name,
+        "n_samples": int(result.n_samples),
+        "seed": int(result.seed),
+        "spec": variation_spec_to_dict(result.spec),
+        "tc_ps": None if result.tc_ps is None else float(result.tc_ps),
+        "target_yield": float(result.target_yield),
+        "nominal_ps": float(result.nominal_ps),
+        "samples_ps": [float(x) for x in result.samples_ps],
+        "endpoints": [
+            {
+                "net": e.net,
+                "nominal_ps": float(e.nominal_ps),
+                "mean_ps": float(e.mean_ps),
+                "std_ps": float(e.std_ps),
+                "p99_ps": float(e.p99_ps),
+                "yield_frac": (
+                    None if e.yield_frac is None else float(e.yield_frac)
+                ),
+            }
+            for e in result.endpoints
+        ],
+    }
+
+
+def mc_result_from_dict(data: Dict[str, Any]) -> McResult:
+    """Rebuild an :class:`McResult` from :func:`mc_result_to_dict`."""
+    return McResult(
+        name=data["name"],
+        n_samples=int(data["n_samples"]),
+        seed=int(data["seed"]),
+        spec=VariationSpec(**data["spec"]),
+        tc_ps=None if data["tc_ps"] is None else float(data["tc_ps"]),
+        target_yield=float(data["target_yield"]),
+        nominal_ps=float(data["nominal_ps"]),
+        samples_ps=np.asarray(data["samples_ps"], dtype=float),
+        endpoints=tuple(
+            McEndpoint(
+                net=e["net"],
+                nominal_ps=e["nominal_ps"],
+                mean_ps=e["mean_ps"],
+                std_ps=e["std_ps"],
+                p99_ps=e["p99_ps"],
+                yield_frac=e["yield_frac"],
+            )
+            for e in data["endpoints"]
+        ),
+    )

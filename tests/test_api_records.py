@@ -61,6 +61,22 @@ class TestRoundTrips:
         assert clone.to_dict() == record.to_dict()
         assert clone.payload.total_uw == pytest.approx(record.payload.total_uw)
 
+    def test_mc_record(self, session):
+        import numpy as np
+
+        record = session.mc(
+            Job(benchmark="fpd", tc_ps=1700.0, mc_samples=50, mc_seed=3)
+        )
+        clone = _json_round_trip(record, session)
+        assert clone.to_dict() == record.to_dict()
+        assert np.array_equal(
+            clone.payload.samples_ps, record.payload.samples_ps
+        )
+        assert clone.payload.endpoints == record.payload.endpoints
+        assert clone.payload.spec == record.payload.spec
+        assert clone.job.mc_samples == 50
+        assert clone.job.mc_seed == 3
+
     def test_characterize_record(self, session):
         record = session.characterize()
         clone = _json_round_trip(record, session)

@@ -97,6 +97,62 @@ class TestVersionAndJson:
         assert data["payload"]["dynamic_uw"] > 0
 
 
+class TestMcCommand:
+    def test_mc_table(self, capsys):
+        assert main(["mc", "fpd", "--samples", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Monte-Carlo corner analysis" in out
+        assert "guard band" in out
+        assert "Worst endpoints" in out
+
+    def test_mc_yield_at(self, capsys):
+        assert main(["mc", "fpd", "--samples", "60", "--yield-at", "1700"]) == 0
+        out = capsys.readouterr().out
+        assert "yield" in out
+        assert "-" not in out.splitlines()[3].split()[-1]  # yield populated
+
+    def test_mc_json_round_trips(self, capsys):
+        from repro.api import RunRecord
+
+        assert main(["mc", "fpd", "--samples", "40", "--seed", "7",
+                     "--yield-at", "1700", "--json"]) == 0
+        record = RunRecord.from_json(capsys.readouterr().out)
+        assert record.kind == "mc"
+        assert record.job.mc_samples == 40
+        assert record.job.mc_seed == 7
+        assert record.payload.n_samples == 40
+        assert record.extra["tc_ps"] == 1700.0
+
+    def test_mc_multiple_benchmarks_json(self, capsys):
+        from repro.api import RunRecord
+
+        assert main(["mc", "fpd", "adder16", "--samples", "40", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [e["job"]["benchmark"] for e in entries] == ["fpd", "adder16"]
+        records = [RunRecord.from_dict(e) for e in entries]
+        assert all(r.kind == "mc" for r in records)
+
+    def test_mc_store_writes_lossless_records(self, capsys, tmp_path):
+        from repro.api import RunRecord
+
+        store = str(tmp_path / "mc")
+        assert main(["mc", "fpd", "--samples", "40", "--store", store]) == 0
+        capsys.readouterr()
+        with open(f"{store}/fpd.mc.json", encoding="utf-8") as handle:
+            stored = RunRecord.from_json(handle.read())
+        assert stored.kind == "mc"
+        # Same invocation again: the record content is reproducible.
+        assert main(["mc", "fpd", "--samples", "40", "--json"]) == 0
+        again = RunRecord.from_json(capsys.readouterr().out)
+        assert stored.to_dict(with_timing=False) == again.to_dict(
+            with_timing=False
+        )
+
+    def test_mc_bad_samples_is_a_clean_error(self, capsys):
+        assert main(["mc", "fpd", "--samples", "1"]) == 2
+        assert "mc_samples" in capsys.readouterr().err
+
+
 class TestReportCommands:
     def test_report(self, capsys):
         assert main(["report", "fpd"]) == 0

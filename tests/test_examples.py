@@ -54,3 +54,10 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "Pareto front" in result.stdout
         assert "warm-started" in result.stdout
+
+    def test_yield_study(self):
+        result = _run("yield_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "guard band" in result.stdout
+        assert "yield@Tc" in result.stdout
+        assert "sizings re-bound" in result.stdout

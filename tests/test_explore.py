@@ -171,6 +171,72 @@ class TestWarmDeterminism:
         assert again.payload == envelope.payload
         assert again.extra["points"] == SPEC.point_count
 
+    def test_yield_column_off_by_default(self, warm_result):
+        assert all(p.yield_frac is None for p in warm_result.summary.points)
+
+
+class TestYieldObjective:
+    @pytest.fixture(scope="class")
+    def yielded(self):
+        return run_sweep(Session(), SPEC, with_yield=True)
+
+    def test_every_circuit_point_carries_a_yield(self, yielded):
+        assert all(
+            p.yield_frac is not None and 0.0 <= p.yield_frac <= 1.0
+            for p in yielded.summary.points
+        )
+
+    def test_yield_does_not_change_the_records(self, yielded, warm_result):
+        # The yield column is a summary annotation, never a payload edit.
+        for a, b in zip(yielded.records, warm_result.records):
+            assert payload_bytes(a) == payload_bytes(b)
+
+    def test_yield_matches_direct_batch_evaluation(self, yielded):
+        # The column is exactly the batch engine's yield of each point's
+        # optimized netlist at its own Tc (same corner draw).
+        from repro.explore.runner import YIELD_SAMPLES, YIELD_SEED
+        from repro.mc import batch_analyze, compile_circuit, sample_corners
+
+        session = Session()
+        corners = sample_corners(
+            session.library.tech, n_samples=YIELD_SAMPLES, seed=YIELD_SEED
+        )
+        for record, point in zip(yielded.records, yielded.summary.points):
+            compiled = compile_circuit(record.payload.circuit, session.library)
+            expected = batch_analyze(compiled, corners).yield_at(point.tc_ps)
+            assert point.yield_frac == expected
+
+    def test_nominally_infeasible_points_fail_most_corners(self, yielded):
+        # Every point of this tight grid misses its Tc nominally, so no
+        # corner majority can meet it either.
+        for point in yielded.summary.points:
+            assert not point.feasible and point.delay_ps > point.tc_ps
+            assert point.yield_frac < 0.5
+
+    def test_yield_survives_summary_round_trip(self, yielded):
+        from repro.explore.summary import SweepSummary
+
+        data = yielded.summary.to_dict()
+        again = SweepSummary.from_dict(json.loads(json.dumps(data)))
+        assert again == yielded.summary
+
+    def test_old_summaries_without_yield_still_load(self, warm_result):
+        from repro.explore.summary import SweepSummary
+
+        data = warm_result.summary.to_dict()
+        for point in data["points"]:
+            del point["yield_frac"]  # a pre-yield-era archive
+        again = SweepSummary.from_dict(data)
+        assert all(p.yield_frac is None for p in again.points)
+
+    def test_yield_axis_enters_dominance(self):
+        # Two points equal on delay/area/power: the higher yield must
+        # dominate once the fourth axis is populated.
+        from repro.analysis.pareto import dominates
+
+        assert dominates((1.0, 1.0, 1.0, -0.99), (1.0, 1.0, 1.0, -0.90))
+        assert not dominates((1.0, 1.0, 1.0, None), (1.0, 1.0, 1.0, -0.9))
+
 
 class TestCampaignStore:
     def test_journal_and_resume_skip_completed(self, tmp_path):
