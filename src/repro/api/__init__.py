@@ -15,6 +15,7 @@ critical-path extraction and delay bounds; ``Session.optimize_many``
 fans a campaign out over worker processes with a serial fallback.
 """
 
+from repro.api.cache import BoundedCache
 from repro.api.job import SCOPES, WEIGHT_MODES, Job, JobError, SweepSpec
 from repro.api.records import (
     KIND_BOUNDS,
@@ -36,6 +37,7 @@ from repro.api.session import (
 )
 
 __all__ = [
+    "BoundedCache",
     "Job",
     "JobError",
     "SweepSpec",

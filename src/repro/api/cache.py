@@ -1,0 +1,111 @@
+"""Bounded LRU mapping with hit/miss/eviction counters.
+
+:class:`BoundedCache` is the storage primitive behind every
+:class:`~repro.api.session.Session` memo.  It behaves like a plain dict
+(the unbounded default is drop-in compatible with the dicts it replaced)
+but can be capped: inserting beyond ``maxsize`` evicts the least
+recently *used* entry, and every access updates recency.  The counters
+make cache behaviour observable -- the serving layer
+(:mod:`repro.serve`) sizes a long-lived daemon's session with a bound
+and watches ``evictions`` instead of watching memory grow.
+
+Eviction is always safe for the session's memos: every cached artefact
+is a pure function of its key, so an evicted entry is recomputed on the
+next miss, never served stale.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+
+class BoundedCache(OrderedDict):
+    """An ``OrderedDict`` with LRU eviction and access counters.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry cap; ``None`` (the default) means unbounded -- exactly a
+        dict, plus counters.
+    name:
+        Label echoed in :meth:`stats` (observability only).
+
+    Counters
+    --------
+    ``hits`` / ``misses`` count :meth:`get` outcomes, ``evictions``
+    counts entries dropped by the LRU bound.  ``clear()`` empties the
+    mapping but keeps the counters (a long-lived server's totals survive
+    a cache flush).
+    """
+
+    def __init__(self, maxsize: Optional[int] = None, name: str = "") -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
+        super().__init__()
+        self.maxsize = maxsize
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "inf" if self.maxsize is None else str(self.maxsize)
+        return (
+            f"BoundedCache({self.name or 'anon'}: {len(self)}/{cap}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Dict ``get`` that counts the outcome and refreshes recency."""
+        try:
+            value = OrderedDict.__getitem__(self, key)
+        except KeyError:
+            self.misses += 1
+            return default
+        self.hits += 1
+        try:
+            self.move_to_end(key)
+        except KeyError:  # pragma: no cover - concurrent eviction
+            pass
+        return value
+
+    def peek(self, key: Any, default: Any = None) -> Any:
+        """Raw lookup: no counters, no recency update.
+
+        The double-checked populate paths use this for their re-check so
+        one logical miss is counted once, not twice.
+        """
+        try:
+            return OrderedDict.__getitem__(self, key)
+        except KeyError:
+            return default
+
+    def __getitem__(self, key: Any) -> Any:
+        value = OrderedDict.__getitem__(self, key)
+        try:
+            self.move_to_end(key)
+        except KeyError:  # pragma: no cover - concurrent eviction
+            pass
+        return value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        existed = OrderedDict.__contains__(self, key)
+        OrderedDict.__setitem__(self, key, value)
+        if existed:
+            self.move_to_end(key)
+        elif self.maxsize is not None:
+            while len(self) > self.maxsize:
+                OrderedDict.popitem(self, last=False)
+                self.evictions += 1
+
+    def stats(self) -> Dict[str, Any]:
+        """Size, bound and counters as one JSON-native dict."""
+        return {
+            "size": len(self),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -25,15 +25,18 @@ guaranteed to produce payloads byte-identical to the serial loop.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.activity import estimate_activity
 from repro.analysis.area import circuit_area_um
 from repro.analysis.power import estimate_power
 from repro.analysis.variation import VariationSpec
+from repro.api.cache import BoundedCache
 from repro.api.job import Job, JobError
 from repro.api.records import (
     KIND_BOUNDS,
@@ -120,6 +123,18 @@ class Session:
     bench_dir:
         Default directory of real ``.bench`` netlists for benchmark jobs
         that do not set their own.
+    cache_limit:
+        Per-cache LRU bound (entries).  ``None`` (the default) keeps the
+        historical unbounded behaviour; a long-lived server sets a bound
+        so a session over millions of distinct circuits cannot grow
+        without limit.  Eviction is safe -- every cached artefact is a
+        pure function of its key and is recomputed on the next miss.
+
+    Sessions are safe for concurrent readers: every cache-miss populate
+    path is guarded by a per-key lock (double-checked against the cache),
+    so N threads asking for the same artefact compute it once and the
+    shared incremental engines / compiled circuits are never mutated
+    concurrently.  Distinct keys populate in parallel.
     """
 
     def __init__(
@@ -127,25 +142,64 @@ class Session:
         library: Optional[Library] = None,
         tech: Optional[Technology] = None,
         bench_dir: Optional[str] = None,
+        cache_limit: Optional[int] = None,
     ) -> None:
         if library is not None and tech is not None:
             raise ValueError("give at most one of 'library' and 'tech'")
         self._library = library if library is not None else default_library(tech)
         self.bench_dir = bench_dir
+        self.cache_limit = cache_limit
         self.stats = SessionStats()
         self._flimits: Optional[Dict] = None
-        self._benchmarks: Dict[Tuple[str, Optional[str]], Circuit] = {}
-        self._sta_cache: Dict[StateKey, StaResult] = {}
-        self._engines: Dict[StateKey, IncrementalSta] = {}
-        self._path_cache: Dict[StateKey, ExtractedPath] = {}
-        self._bounds_cache: Dict[StateKey, DelayBounds] = {}
-        self._compiled: Dict[StateKey, "CompiledCircuit"] = {}
+        self._benchmarks: BoundedCache = BoundedCache(cache_limit, "benchmarks")
+        self._sta_cache: BoundedCache = BoundedCache(cache_limit, "sta")
+        self._engines: BoundedCache = BoundedCache(cache_limit, "engines")
+        self._path_cache: BoundedCache = BoundedCache(cache_limit, "paths")
+        self._bounds_cache: BoundedCache = BoundedCache(cache_limit, "bounds")
+        self._compiled: BoundedCache = BoundedCache(cache_limit, "compiled")
+        # Concurrency plumbing: `_lock` guards the cache maps and the
+        # key-lock table; `_key_locks` holds one refcounted RLock per
+        # in-flight populate key, dropped as soon as no thread needs it
+        # (the table stays bounded by in-flight work, not by history).
+        self._lock = threading.RLock()
+        self._key_locks: Dict[Tuple[str, Any], List[Any]] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Session(tech={self._library.tech.name!r}, "
             f"jobs_run={self.stats.jobs_run})"
         )
+
+    # -- concurrency plumbing ------------------------------------------
+
+    @contextmanager
+    def _populate_lock(self, name: str, key: Any) -> Iterator[None]:
+        """A refcounted per-key RLock for one cache-miss populate.
+
+        Two threads missing on the same key serialize here (the second
+        one re-checks the cache and finds the first one's result); misses
+        on distinct keys proceed in parallel.  The lock is reentrant so
+        an operation may nest inside its own key (``mc`` holds the
+        compiled-circuit key around the whole batch analysis).  Entries
+        are dropped when the last holder leaves, so the table is bounded
+        by in-flight work.
+        """
+        token = (name, key)
+        with self._lock:
+            entry = self._key_locks.get(token)
+            if entry is None:
+                entry = [threading.RLock(), 0]
+                self._key_locks[token] = entry
+            entry[1] += 1
+        entry[0].acquire()
+        try:
+            yield
+        finally:
+            entry[0].release()
+            with self._lock:
+                entry[1] -= 1
+                if entry[1] == 0:
+                    self._key_locks.pop(token, None)
 
     # -- cached primitives ---------------------------------------------
 
@@ -162,22 +216,32 @@ class Session:
         table for this library instance (e.g. a sibling session built it).
         """
         if self._flimits is None:
-            from repro.buffering.insertion import flimit_cache_contains
+            with self._populate_lock("flimits", None):
+                if self._flimits is None:
+                    from repro.buffering.insertion import flimit_cache_contains
 
-            if not flimit_cache_contains(self._library):
-                self.stats.characterizations += 1
-            self._flimits = default_flimits(self._library)
+                    if not flimit_cache_contains(self._library):
+                        self.stats.characterizations += 1
+                    self._flimits = default_flimits(self._library)
         return self._flimits
 
     def benchmark(self, name: str, bench_dir: Optional[str] = None) -> Circuit:
         """A fresh copy of a registered benchmark, parsed/generated once."""
         directory = bench_dir if bench_dir is not None else self.bench_dir
         key = (name, directory)
-        master = self._benchmarks.get(key)
+        with self._lock:
+            master = self._benchmarks.get(key)
         if master is None:
-            self.stats.benchmark_misses += 1
-            master = load_benchmark(name, bench_dir=directory)
-            self._benchmarks[key] = master
+            with self._populate_lock("benchmark", key):
+                with self._lock:
+                    master = self._benchmarks.peek(key)
+                if master is None:
+                    self.stats.benchmark_misses += 1
+                    master = load_benchmark(name, bench_dir=directory)
+                    with self._lock:
+                        self._benchmarks[key] = master
+                else:
+                    self.stats.benchmark_hits += 1
         else:
             self.stats.benchmark_hits += 1
         return master.copy()
@@ -195,54 +259,85 @@ class Session:
         bit-identical to a from-scratch analysis.
         """
         key = circuit_state_key(circuit)
-        cached = self._sta_cache.get(key)
+        with self._lock:
+            cached = self._sta_cache.get(key)
         if cached is not None:
             self.stats.sta_hits += 1
             return cached
-        self.stats.sta_misses += 1
         skey = circuit_structure_key(circuit)
-        engine = self._engines.get(skey)
-        if engine is None:
-            # The engine owns a private copy: later caller-side
-            # mutations cannot desynchronise its cached annotation.
-            engine = IncrementalSta(circuit.copy(), self._library)
-            self._engines[skey] = engine
-            result = engine.result()
-        else:
-            changed = []
-            for name, gate in circuit.gates.items():
-                own = engine.circuit.gates[name]
-                if own.cin_ff != gate.cin_ff:
-                    own.cin_ff = gate.cin_ff
-                    changed.append(name)
-            result = engine.update(changed)
-            self.stats.sta_incremental += 1
-        self._sta_cache[key] = result
+        # The populate lock is per *structure*: the incremental engine is
+        # shared mutable state, so two different sizings of one netlist
+        # must not drive it concurrently.
+        with self._populate_lock("sta", skey):
+            with self._lock:
+                cached = self._sta_cache.peek(key)
+            if cached is not None:
+                self.stats.sta_hits += 1
+                return cached
+            self.stats.sta_misses += 1
+            with self._lock:
+                engine = self._engines.get(skey)
+            if engine is None:
+                # The engine owns a private copy: later caller-side
+                # mutations cannot desynchronise its cached annotation.
+                engine = IncrementalSta(circuit.copy(), self._library)
+                with self._lock:
+                    self._engines[skey] = engine
+                result = engine.result()
+            else:
+                changed = []
+                for name, gate in circuit.gates.items():
+                    own = engine.circuit.gates[name]
+                    if own.cin_ff != gate.cin_ff:
+                        own.cin_ff = gate.cin_ff
+                        changed.append(name)
+                result = engine.update(changed)
+                self.stats.sta_incremental += 1
+            with self._lock:
+                self._sta_cache[key] = result
         return result
 
     def critical_path(self, circuit: Circuit) -> ExtractedPath:
         """Critical-path extraction, memoized on the circuit state hash."""
         key = circuit_state_key(circuit)
-        cached = self._path_cache.get(key)
+        with self._lock:
+            cached = self._path_cache.get(key)
         if cached is not None:
             self.stats.path_hits += 1
             return cached
-        self.stats.path_misses += 1
-        extracted = critical_path(circuit, self._library, sta=self.sta(circuit))
-        self._path_cache[key] = extracted
+        with self._populate_lock("path", key):
+            with self._lock:
+                cached = self._path_cache.peek(key)
+            if cached is not None:
+                self.stats.path_hits += 1
+                return cached
+            self.stats.path_misses += 1
+            extracted = critical_path(
+                circuit, self._library, sta=self.sta(circuit)
+            )
+            with self._lock:
+                self._path_cache[key] = extracted
         return extracted
 
     def path_bounds(self, circuit: Circuit) -> DelayBounds:
         """Critical-path ``(Tmin, Tmax)`` window, memoized per state."""
         key = circuit_state_key(circuit)
-        cached = self._bounds_cache.get(key)
+        with self._lock:
+            cached = self._bounds_cache.get(key)
         if cached is not None:
             self.stats.bounds_hits += 1
             return cached
-        self.stats.bounds_misses += 1
-        extracted = self.critical_path(circuit)
-        bounds = delay_bounds(extracted.path, self._library)
-        self._bounds_cache[key] = bounds
+        with self._populate_lock("bounds", key):
+            with self._lock:
+                cached = self._bounds_cache.peek(key)
+            if cached is not None:
+                self.stats.bounds_hits += 1
+                return cached
+            self.stats.bounds_misses += 1
+            extracted = self.critical_path(circuit)
+            bounds = delay_bounds(extracted.path, self._library)
+            with self._lock:
+                self._bounds_cache[key] = bounds
         return bounds
 
     def compiled(self, circuit: Circuit) -> CompiledCircuit:
@@ -257,25 +352,59 @@ class Session:
         *current* sizes -- stale bindings are impossible.
         """
         key = circuit_structure_key(circuit)
-        comp = self._compiled.get(key)
-        if comp is None:
-            self.stats.compile_misses += 1
-            comp = CompiledCircuit(circuit, self._library)
-            self._compiled[key] = comp
-        else:
-            self.stats.compile_hits += 1
-            comp.bind(circuit)
+        # Per-structure lock: ``bind`` rewrites the sizing arrays of a
+        # shared object, so concurrent binds of different sizings must
+        # serialize (``mc`` holds this same key around its whole batch
+        # analysis, reentrantly, so the arrays stay pinned while in use).
+        with self._populate_lock("compiled", key):
+            with self._lock:
+                comp = self._compiled.get(key)
+            if comp is None:
+                self.stats.compile_misses += 1
+                comp = CompiledCircuit(circuit, self._library)
+                with self._lock:
+                    self._compiled[key] = comp
+            else:
+                self.stats.compile_hits += 1
+                comp.bind(circuit)
         return comp
 
     def clear_caches(self) -> None:
         """Drop every memoized artefact (the Flimit table included)."""
-        self._flimits = None
-        self._benchmarks.clear()
-        self._sta_cache.clear()
-        self._engines.clear()
-        self._path_cache.clear()
-        self._bounds_cache.clear()
-        self._compiled.clear()
+        with self._lock:
+            self._flimits = None
+            self._benchmarks.clear()
+            self._sta_cache.clear()
+            self._engines.clear()
+            self._path_cache.clear()
+            self._bounds_cache.clear()
+            self._compiled.clear()
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Size, bound and hit/miss/eviction counters of every cache.
+
+        The shape is JSON-native: ``{"limit": ..., "caches": {name:
+        {size, maxsize, hits, misses, evictions}}, "counters": {...}}``.
+        This is the surface the serving layer's ``status`` endpoint and
+        ``pops`` expose; ``counters`` echoes :attr:`stats`.
+        """
+        with self._lock:
+            caches = {
+                cache.name: cache.stats()
+                for cache in (
+                    self._benchmarks,
+                    self._sta_cache,
+                    self._engines,
+                    self._path_cache,
+                    self._bounds_cache,
+                    self._compiled,
+                )
+            }
+            return {
+                "limit": self.cache_limit,
+                "caches": caches,
+                "counters": self.stats.as_dict(),
+            }
 
     # -- job plumbing --------------------------------------------------
 
@@ -446,16 +575,22 @@ class Session:
         tc_ps: Optional[float] = job.tc_ps
         if tc_ps is None and job.tc_ratio is not None:
             tc_ps = self.resolve_tc(job, self.path_bounds(circuit).tmin_ps)
-        result: McResult = mc_analyze(
-            circuit,
-            self._library,
-            spec=spec,
-            n_samples=job.mc_samples,
-            seed=job.mc_seed,
-            tc_ps=tc_ps,
-            target_yield=target_yield,
-            compiled=self.compiled(circuit),
-        )
+        # Hold the compiled-circuit key for the whole batch analysis: the
+        # compilation is shared per structure and ``bind`` rewrites its
+        # sizing arrays, so a concurrent mc over another sizing of the
+        # same netlist must wait (the inner ``compiled`` call re-enters
+        # the same RLock).
+        with self._populate_lock("compiled", circuit_structure_key(circuit)):
+            result: McResult = mc_analyze(
+                circuit,
+                self._library,
+                spec=spec,
+                n_samples=job.mc_samples,
+                seed=job.mc_seed,
+                tc_ps=tc_ps,
+                target_yield=target_yield,
+                compiled=self.compiled(circuit),
+            )
         extra: Dict[str, object] = {
             "nominal_ps": float(result.nominal_ps),
             "p99_ps": float(result.p99_ps),

@@ -11,15 +11,28 @@ Subcommands mirror the protocol steps:
 * ``pops mc <benchmark...>``        -- Monte-Carlo corner analysis / yield
 * ``pops benchmarks``               -- list the registered circuits
 
+The serving surface (see :mod:`repro.serve`):
+
+* ``pops serve``                    -- run the multi-tenant daemon
+* ``pops submit <kind> <benchmark>``-- run a job through the daemon
+* ``pops status``                   -- daemon stats (queue, caches, store)
+* ``pops shutdown``                 -- stop the daemon (drained by default)
+
 Every analysis subcommand accepts ``--json`` to emit the run record as a
 lossless JSON envelope (see :mod:`repro.api.records`) instead of the
 human-readable text -- the machine surface campaigns script against.
+Failures are machine-parseable too: with ``--json`` an error prints a
+single ``{"error": {"type", "message"}}`` object on stdout, the human
+line goes to stderr, and the exit code is nonzero (2 for designed
+spec/usage errors, 1 for everything else).  Set ``POPS_DEBUG=1`` to get
+the traceback instead.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -281,8 +294,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_mc(args: argparse.Namespace) -> int:
-    import os
-
     session = _session(args)
     records = []
     for benchmark in args.benchmarks:
@@ -373,6 +384,200 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     if args.store is not None:
         print(f"\nrecords     : {args.store}/<benchmark>.mc.json")
     return 0
+
+
+def _serve_client(args: argparse.Namespace):
+    """A :class:`repro.serve.ServeClient` for the daemon args address."""
+    from repro.serve import ServeClient
+
+    if getattr(args, "port", None):
+        return ServeClient(
+            host=args.host, port=args.port, timeout_s=args.timeout
+        )
+    return ServeClient(socket_path=args.socket, timeout_s=args.timeout)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant optimization daemon until shutdown."""
+    import asyncio
+    import signal
+
+    from repro.serve import PopsServer, ServeConfig
+
+    config = ServeConfig(
+        socket_path=None if args.port else args.socket,
+        host=args.host if args.port else None,
+        port=args.port or 0,
+        threads=args.threads,
+        heavy_threads=args.heavy_threads,
+        procs=args.procs,
+        store_dir=args.store,
+        cache_limit=args.cache_limit,
+        bench_dir=args.bench_dir,
+    )
+
+    async def daemon() -> None:
+        server = PopsServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: loop.create_task(server.shutdown(drain=True)),
+                )
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms/loops without signal handler support
+        ready = {"event": "ready", "pid": os.getpid(), **server.address}
+        print(json.dumps(ready, sort_keys=True), flush=True)
+        await server.wait_closed()
+        print(
+            json.dumps(
+                {"event": "closed", "serve": server.stats.as_dict()},
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+
+    asyncio.run(daemon())
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Run one job through the daemon; stream progress to stderr."""
+    if args.kind == "optimize":
+        job = Job(
+            benchmark=args.benchmark,
+            tc_ps=args.tc_ps,
+            tc_ratio=args.tc_ratio if args.tc_ps is None else None,
+            scope=args.scope,
+            k_paths=args.k_paths,
+            weight_mode=args.weight_mode,
+            allow_restructuring=not args.no_restructuring,
+        )
+    elif args.kind == "bounds":
+        job = Job(benchmark=args.benchmark)
+    elif args.kind == "power":
+        job = Job(
+            benchmark=args.benchmark,
+            frequency_mhz=args.frequency,
+            activity_vectors=args.vectors,
+        )
+    else:  # mc
+        job = Job(
+            benchmark=args.benchmark,
+            tc_ps=args.yield_at,
+            mc_samples=args.samples,
+            mc_seed=args.seed,
+        )
+
+    def on_event(event) -> None:
+        if not args.quiet:
+            print(json.dumps(event, sort_keys=True), file=sys.stderr)
+
+    done = _serve_client(args).submit(
+        args.kind,
+        job,
+        priority=args.priority,
+        no_cache=args.no_cache,
+        on_event=on_event,
+    )
+    record = done["record"]
+    if getattr(args, "json", False):
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    print(f"kind     : {record['kind']}")
+    print(f"benchmark: {args.benchmark}")
+    print(f"cached   : {bool(done.get('cached', False))}")
+    if "elapsed_s" in done:
+        print(f"elapsed  : {done['elapsed_s']:.3f} s")
+    for name in sorted(record.get("extra", {})):
+        value = record["extra"][name]
+        text = f"{value:.3f}" if isinstance(value, float) else str(value)
+        print(f"{name:<9}: {text}")
+    return 0
+
+
+def _cmd_serve_status(args: argparse.Namespace) -> int:
+    """Print the daemon's observability snapshot."""
+    status = _serve_client(args).status()
+    if getattr(args, "json", False):
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    serve = status["serve"]
+    print(f"pops     : {status['pops']} (protocol v{status['version']})")
+    print(f"pid      : {status['pid']}  uptime {status['uptime_s']:.1f} s")
+    print(f"draining : {status['draining']}")
+    print(
+        f"queue    : depth {status['queue']['depth']}, "
+        f"inflight {status['queue']['inflight']}"
+    )
+    print(
+        "serve    : "
+        + ", ".join(f"{k}={serve[k]}" for k in sorted(serve))
+    )
+    caches = status["session"]["caches"]
+    rows = [
+        (
+            name,
+            caches[name]["size"],
+            caches[name]["maxsize"] or "-",
+            caches[name]["hits"],
+            caches[name]["misses"],
+            caches[name]["evictions"],
+        )
+        for name in sorted(caches)
+    ]
+    print()
+    print(
+        format_table(
+            ("cache", "size", "max", "hits", "misses", "evictions"),
+            rows,
+            title="Session caches",
+        )
+    )
+    if "store" in status:
+        store = status["store"]
+        print(
+            f"\nstore    : {store['records']} record(s), "
+            f"{store['hits']} hit(s), {store['writes']} write(s)"
+        )
+    return 0
+
+
+def _cmd_serve_shutdown(args: argparse.Namespace) -> int:
+    """Ask the daemon to stop (drained unless --now)."""
+    ack = _serve_client(args).shutdown(drain=not args.now)
+    if getattr(args, "json", False):
+        print(json.dumps(ack, indent=2, sort_keys=True))
+        return 0
+    mode = "immediate" if args.now else "drained"
+    print(f"shutdown : {mode} ({ack.get('queued', 0)} job(s) outstanding)")
+    return 0
+
+
+def _add_client_args(parser: argparse.ArgumentParser) -> None:
+    """Daemon addressing flags shared by every client subcommand."""
+    parser.add_argument(
+        "--socket",
+        default="/tmp/pops-serve.sock",
+        help="daemon unix socket path (default /tmp/pops-serve.sock)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="daemon TCP host (with --port)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="daemon TCP port (switches addressing from --socket)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="client socket timeout in seconds",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -560,6 +765,119 @@ def build_parser() -> argparse.ArgumentParser:
     p_power.add_argument("--vectors", type=int, default=128,
                          help="random vectors for activity estimation")
     p_power.add_argument("--json", action="store_true", help="emit the run record")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant optimization daemon"
+    )
+    p_serve.add_argument(
+        "--socket",
+        default="/tmp/pops-serve.sock",
+        help="unix socket to listen on (default /tmp/pops-serve.sock)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP host (with --port)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="listen on TCP instead of the unix socket (0 = ephemeral)",
+    )
+    p_serve.add_argument(
+        "--threads", type=int, default=4, help="light worker threads"
+    )
+    p_serve.add_argument(
+        "--heavy-threads", type=int, default=2,
+        help="heavy (optimize/sweep) worker threads",
+    )
+    p_serve.add_argument(
+        "--procs", type=int, default=0,
+        help="process-pool size for optimize/sweep (0 = in-thread)",
+    )
+    p_serve.add_argument(
+        "--store", default=None,
+        help="content-addressed result store directory",
+    )
+    p_serve.add_argument(
+        "--cache-limit", type=int, default=1024,
+        help="per-cache LRU entry bound for the shared session",
+    )
+    p_serve.add_argument("--bench-dir", default=None, help="real .bench directory")
+
+    p_submit = sub.add_parser(
+        "submit", help="run one job through the serve daemon"
+    )
+    p_submit.add_argument(
+        "kind", choices=("bounds", "optimize", "power", "mc"),
+        help="what to run",
+    )
+    p_submit.add_argument("benchmark", help="benchmark name (see 'benchmarks')")
+    _add_client_args(p_submit)
+    p_submit.add_argument(
+        "--priority", type=int, default=0,
+        help="queue priority (lower runs sooner, default 0)",
+    )
+    p_submit.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the daemon's result store",
+    )
+    submit_tc = p_submit.add_mutually_exclusive_group()
+    submit_tc.add_argument("--tc-ps", type=float, default=None,
+                           help="constraint in ps (optimize)")
+    submit_tc.add_argument(
+        "--tc-ratio", type=float, default=1.5,
+        help="constraint as a multiple of Tmin (optimize, default 1.5)",
+    )
+    p_submit.add_argument(
+        "--scope", choices=("path", "circuit"), default="path",
+        help="optimize scope",
+    )
+    p_submit.add_argument(
+        "--k-paths", type=int, default=4, help="paths per circuit-scope pass"
+    )
+    p_submit.add_argument(
+        "--weight-mode", choices=("uniform", "area"), default="uniform",
+        help="eq. 6 sensitivity weights (optimize)",
+    )
+    p_submit.add_argument(
+        "--no-restructuring", action="store_true",
+        help="forbid the De Morgan fallback (optimize)",
+    )
+    p_submit.add_argument(
+        "--frequency", type=float, default=100.0,
+        help="clock frequency in MHz (power)",
+    )
+    p_submit.add_argument(
+        "--vectors", type=int, default=128,
+        help="random vectors for activity estimation (power)",
+    )
+    p_submit.add_argument(
+        "--samples", type=int, default=1000, help="MC corners (mc)"
+    )
+    p_submit.add_argument("--seed", type=int, default=42, help="MC rng seed (mc)")
+    p_submit.add_argument(
+        "--yield-at", type=float, default=None,
+        help="delay constraint (ps) to report yield against (mc)",
+    )
+    p_submit.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the NDJSON event stream on stderr",
+    )
+    p_submit.add_argument("--json", action="store_true", help="emit the run record")
+
+    p_status = sub.add_parser("status", help="serve daemon observability snapshot")
+    _add_client_args(p_status)
+    p_status.add_argument("--json", action="store_true",
+                          help="machine-readable status")
+
+    p_shutdown = sub.add_parser("shutdown", help="stop the serve daemon")
+    _add_client_args(p_shutdown)
+    p_shutdown.add_argument(
+        "--now", action="store_true",
+        help="fail the queued backlog instead of draining it",
+    )
+    p_shutdown.add_argument("--json", action="store_true",
+                            help="machine-readable ack")
     return parser
 
 
@@ -572,29 +890,59 @@ _COMMANDS = {
     "power": _cmd_power,
     "sweep": _cmd_sweep,
     "mc": _cmd_mc,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_serve_status,
+    "shutdown": _cmd_serve_shutdown,
 }
+
+
+def _designed_errors() -> tuple:
+    """Exception types that mean 'bad input/spec', not 'pops bug'."""
+    from repro.api import JobError
+    from repro.explore import CampaignError
+    from repro.serve import ProtocolError, ServeClientError
+
+    return (JobError, CampaignError, ProtocolError, ServeClientError, KeyError)
+
+
+def _fail(args: argparse.Namespace, exc: BaseException) -> int:
+    """Uniform failure surface: JSON on stdout (with --json), message on
+    stderr, exit 2 for designed errors and 1 for unexpected ones."""
+    message = str(exc) or repr(exc)
+    if isinstance(exc, KeyError) and exc.args:
+        # str(KeyError) wraps the message in quotes; unwrap it.
+        message = str(exc.args[0])
+    designed = isinstance(exc, _designed_errors())
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                {"error": {"type": type(exc).__name__, "message": message}},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    print(f"error: {message}", file=sys.stderr)
+    return 2 if designed else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
-    from repro.api import JobError
-    from repro.explore import CampaignError
-
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (JobError, CampaignError) as exc:
-        # Designed user-facing failures (bad spec, campaign reuse without
-        # --resume, spec mismatch): a clean message, not a traceback.
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
     except BrokenPipeError:
         # Downstream consumer (head, jq -e ...) closed the pipe early;
         # silence the shutdown traceback and exit with the SIGPIPE code.
-        import os
-
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 141
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        if os.environ.get("POPS_DEBUG"):
+            raise
+        return _fail(args, exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

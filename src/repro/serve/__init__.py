@@ -1,0 +1,57 @@
+"""``repro.serve``: the multi-tenant optimization service.
+
+A long-lived asyncio daemon (:class:`~repro.serve.server.PopsServer`)
+owns one shared, lock-guarded, bounded-cache
+:class:`~repro.api.session.Session` and amortizes its memoized
+characterisation, compiled circuits, STA engines and bounds across many
+clients:
+
+* requests arrive as NDJSON lines over a local socket
+  (:mod:`repro.serve.protocol`), carrying the same frozen ``Job`` /
+  ``SweepSpec`` dicts the rest of the repo speaks;
+* a priority queue feeds a bounded worker pool
+  (:mod:`repro.serve.queue`, :mod:`repro.serve.scheduler`): threads for
+  cache-warm STA/MC jobs, the existing process pool (optionally) for
+  CPU-heavy optimizations;
+* identical in-flight submissions **coalesce** on the job-spec hash --
+  N concurrent clients asking for the same spec pay for one execution
+  and all receive the same :class:`~repro.api.records.RunRecord`;
+* completed records land in a content-addressed on-disk store
+  (:mod:`repro.serve.store`), so repeat submissions are served from
+  disk across daemon restarts;
+* every lifecycle step streams back as a progress event, and shutdown
+  drains the queue before the daemon exits.
+
+``pops serve`` runs the daemon; ``pops submit`` / ``pops status`` /
+``pops shutdown`` are the bundled clients
+(:class:`~repro.serve.client.ServeClient` is the programmatic one).
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    SUBMIT_KINDS,
+    ProtocolError,
+    job_spec_key,
+)
+from repro.serve.queue import JobTicket, PriorityJobQueue, ServeStats
+from repro.serve.scheduler import JobExecutor
+from repro.serve.server import PopsServer, ServeConfig, start_server_thread
+from repro.serve.store import ResultStore
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SUBMIT_KINDS",
+    "ProtocolError",
+    "job_spec_key",
+    "JobTicket",
+    "PriorityJobQueue",
+    "ServeStats",
+    "JobExecutor",
+    "PopsServer",
+    "ServeConfig",
+    "start_server_thread",
+    "ResultStore",
+    "ServeClient",
+    "ServeClientError",
+]

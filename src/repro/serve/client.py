@@ -1,0 +1,195 @@
+"""Blocking client for the serve daemon (the ``pops submit`` surface).
+
+One request per connection: the client opens the socket, writes one
+NDJSON line, then consumes the server's event stream.  No asyncio on
+this side -- plain sockets, so the client is trivially usable from
+scripts, tests, thread pools and other processes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Callable, Dict, Iterator, Optional, Union
+
+from repro.api.job import Job, SweepSpec
+from repro.api.records import RunRecord
+from repro.cells.library import Library
+from repro.serve.protocol import MAX_LINE_BYTES, encode_line
+
+#: Optional per-event observer (progress rendering, logging).
+EventFn = Callable[[Dict[str, Any]], None]
+
+
+class ServeClientError(RuntimeError):
+    """The server answered with an error event (or the stream broke).
+
+    ``error`` carries the server's ``{"type": ..., "message": ...}``
+    block when one was received.
+    """
+
+    def __init__(self, message: str, error: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.error = error or {}
+
+
+class ServeClient:
+    """Talks to one daemon, addressed by unix socket or TCP loopback."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout_s: float = 600.0,
+        library: Optional[Library] = None,
+    ) -> None:
+        if (socket_path is None) == (host is None):
+            raise ValueError(
+                "give exactly one of 'socket_path' and 'host' (+'port')"
+            )
+        if host is not None and port is None:
+            raise ValueError("TCP addressing needs a port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.library = library
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = self.socket_path or f"{self.host}:{self.port}"
+        return f"ServeClient({where!r})"
+
+    # -- transport -----------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout_s)
+                sock.connect(self.socket_path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, int(self.port or 0)), timeout=self.timeout_s
+                )
+        except OSError as exc:
+            where = self.socket_path or f"{self.host}:{self.port}"
+            raise ServeClientError(
+                f"cannot reach the serve daemon at {where}: {exc}"
+            ) from exc
+        return sock
+
+    def request(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Send one request; yield every event line until the server closes."""
+        with self._connect() as sock:
+            sock.sendall(encode_line(message))
+            with sock.makefile("rb") as stream:
+                for raw in stream:
+                    if len(raw) > MAX_LINE_BYTES:
+                        raise ServeClientError("oversized event line")
+                    event = json.loads(raw.decode("utf-8"))
+                    if not isinstance(event, dict):
+                        raise ServeClientError(f"bad event line: {event!r}")
+                    yield event
+
+    def _request_one(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        for event in self.request(message):
+            if event.get("event") == "error":
+                raise ServeClientError(
+                    event["error"].get("message", "server error"),
+                    error=event.get("error"),
+                )
+            return event
+        raise ServeClientError("server closed the stream without an answer")
+
+    # -- control plane -------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe; returns the pong event."""
+        return self._request_one({"op": "ping"})
+
+    def status(self) -> Dict[str, Any]:
+        """The daemon's full observability snapshot."""
+        return self._request_one({"op": "status"})
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        """Ask the daemon to stop (drained by default); returns its ack."""
+        return self._request_one({"op": "shutdown", "drain": drain})
+
+    def wait_ready(self, timeout_s: float = 10.0) -> Dict[str, Any]:
+        """Poll ``ping`` until the daemon answers (startup handshake)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.ping()
+            except (OSError, ServeClientError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # -- work ----------------------------------------------------------
+
+    def submit_events(
+        self,
+        kind: str,
+        spec: Union[Job, SweepSpec, Dict[str, Any]],
+        priority: int = 0,
+        no_cache: bool = False,
+    ) -> Iterator[Dict[str, Any]]:
+        """Submit one job; yield the raw event stream as it arrives."""
+        if isinstance(spec, (Job, SweepSpec)):
+            spec = spec.to_dict()
+        field = "spec" if kind == "sweep" else "job"
+        message: Dict[str, Any] = {
+            "op": "submit",
+            "kind": kind,
+            field: spec,
+            "priority": int(priority),
+        }
+        if no_cache:
+            message["no_cache"] = True
+        return self.request(message)
+
+    def submit(
+        self,
+        kind: str,
+        spec: Union[Job, SweepSpec, Dict[str, Any]],
+        priority: int = 0,
+        no_cache: bool = False,
+        on_event: Optional[EventFn] = None,
+    ) -> Dict[str, Any]:
+        """Submit and wait; return the terminal ``done`` event.
+
+        ``on_event`` observes every intermediate event (queued, started,
+        per-point progress).  An error event raises
+        :class:`ServeClientError`.
+        """
+        for event in self.submit_events(
+            kind, spec, priority=priority, no_cache=no_cache
+        ):
+            name = event.get("event")
+            if name == "error":
+                raise ServeClientError(
+                    event["error"].get("message", "job failed"),
+                    error=event.get("error"),
+                )
+            if name == "done":
+                return event
+            if on_event is not None:
+                on_event(event)
+        raise ServeClientError("server closed the stream before completion")
+
+    def submit_record(
+        self,
+        kind: str,
+        spec: Union[Job, SweepSpec, Dict[str, Any]],
+        priority: int = 0,
+        no_cache: bool = False,
+        on_event: Optional[EventFn] = None,
+    ) -> RunRecord:
+        """Submit, wait, and rebuild the typed :class:`RunRecord`."""
+        done = self.submit(
+            kind, spec, priority=priority, no_cache=no_cache, on_event=on_event
+        )
+        return RunRecord.from_dict(done["record"], library=self.library)

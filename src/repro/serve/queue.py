@@ -1,0 +1,126 @@
+"""Priority job queue, coalescing tickets and serve-level counters.
+
+A :class:`JobTicket` is one unit of queued work: the spec-hash key, the
+payload, and the fan-out surface -- every client waiting on the same
+spec subscribes to the same ticket and receives the same event stream
+(and therefore the same record).  The server's in-flight table maps
+``key -> ticket``; a submit that finds its key already in flight
+*coalesces* by subscribing instead of enqueueing.
+
+:class:`PriorityJobQueue` orders tickets by ``(priority, arrival)``:
+lower priority values run sooner, FIFO within a priority class.  A
+``None`` sentinel wakes workers up for shutdown after the drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class ServeStats:
+    """Daemon-level counters (the ``status`` endpoint's ``serve`` block).
+
+    ``submitted`` counts accepted submit requests; of those,
+    ``store_hits`` were answered from the content-addressed store,
+    ``coalesced`` attached to an in-flight ticket, and the rest were
+    enqueued and eventually ``executed`` or ``failed``.  ``rejected``
+    counts submits refused because the daemon was draining.
+    """
+
+    submitted: int = 0
+    executed: int = 0
+    failed: int = 0
+    coalesced: int = 0
+    store_hits: int = 0
+    rejected: int = 0
+    connections: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for the status event."""
+        return dict(self.__dict__)
+
+
+@dataclass
+class JobTicket:
+    """One enqueued (possibly coalesced) unit of work.
+
+    Attributes
+    ----------
+    key:
+        The job-spec hash -- the coalescing / store identity.
+    kind / payload:
+        What to run (``payload`` is the serialized Job or SweepSpec).
+    priority:
+        Queue ordering; lower runs sooner.
+    waiters:
+        How many clients are subscribed (1 + coalesced arrivals).
+    """
+
+    key: str
+    kind: str
+    payload: Dict[str, Any]
+    priority: int = 0
+    waiters: int = 0
+    _subscribers: List[asyncio.Queue] = field(default_factory=list)
+
+    def subscribe(self) -> asyncio.Queue:
+        """A private event queue fed by every future :meth:`publish`."""
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.append(queue)
+        self.waiters += 1
+        return queue
+
+    def publish(self, event: Dict[str, Any]) -> None:
+        """Fan one event out to every subscriber."""
+        for queue in self._subscribers:
+            queue.put_nowait(event)
+
+
+class PriorityJobQueue:
+    """An ``asyncio.PriorityQueue`` of tickets with shutdown sentinels.
+
+    Entries never compare beyond ``(priority, seq)`` -- the arrival
+    counter is unique -- so tickets themselves need no ordering.
+    """
+
+    #: Sentinel priority: sorts after every real job so a drain finishes
+    #: the backlog before workers see the wake-up.
+    _SENTINEL_PRIORITY = 1 << 62
+
+    def __init__(self) -> None:
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._seq = itertools.count()
+        self._depth = 0
+
+    @property
+    def depth(self) -> int:
+        """Tickets enqueued and not yet picked up by a worker."""
+        return self._depth
+
+    def put(self, ticket: JobTicket) -> None:
+        """Enqueue one ticket at its priority."""
+        self._depth += 1
+        self._queue.put_nowait((ticket.priority, next(self._seq), ticket))
+
+    def put_sentinel(self) -> None:
+        """Wake one worker up for shutdown (after the real backlog)."""
+        self._queue.put_nowait((self._SENTINEL_PRIORITY, next(self._seq), None))
+
+    async def get(self) -> Optional[JobTicket]:
+        """Next ticket by priority, or ``None`` for a shutdown sentinel."""
+        _, _, ticket = await self._queue.get()
+        if ticket is not None:
+            self._depth -= 1
+        return ticket
+
+    def task_done(self) -> None:
+        """Mark one :meth:`get` processed (sentinels included)."""
+        self._queue.task_done()
+
+    async def join(self) -> None:
+        """Wait until every enqueued item has been processed."""
+        await self._queue.join()

@@ -1,0 +1,188 @@
+"""The worker side: one ticket in, one serialized run record out.
+
+:class:`JobExecutor` owns the daemon's bounded worker pools and knows
+how to run every submit kind against the shared session:
+
+* **light pool** (threads): ``bounds`` / ``power`` / ``mc`` -- these are
+  cache-warm after the first tenant (memoized extraction, compiled
+  circuits, batch kernels) and release the GIL into numpy for the heavy
+  part, so threads are the right grain;
+* **heavy pool** (threads, optionally escalating to the existing
+  process-pool machinery): ``optimize`` and ``sweep``, the CPU-bound
+  protocol runs.  With ``procs > 0`` single optimizations ship to a
+  ``ProcessPoolExecutor`` via the same worker entry
+  (:func:`repro.api.session._optimize_job_worker`) the batch runner
+  uses -- byte-identical records are the established contract -- and
+  sweeps fan their chunks out through ``run_sweep``'s own pool support.
+  Environments without working subprocess support fall back to
+  in-thread execution transparently (the repo-wide ``POOL_ERRORS``
+  contract).
+
+Results always cross this boundary in *serialized* form (the record's
+lossless dict), which is exactly what the coalescing fan-out and the
+content-addressed store file, and what pins server records
+byte-identical to direct ``Session`` calls.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional
+
+from repro.api.job import Job, SweepSpec
+from repro.api.session import (
+    JOB_ERROR_KEY,
+    POOL_ERRORS,
+    Session,
+    _optimize_job_worker,
+)
+from repro.serve.protocol import ProtocolError
+
+#: Kinds routed to the heavy pool (full protocol runs).
+HEAVY_KINDS = ("optimize", "sweep")
+
+#: Emits one already-shaped progress event (thread-safe on the server).
+EventFn = Callable[[Dict[str, Any]], None]
+
+
+class JobExecutor:
+    """Bounded worker pools + the kind dispatch table.
+
+    Parameters
+    ----------
+    session:
+        The shared (lock-guarded) session every job runs against.
+    threads / heavy_threads:
+        Light / heavy thread-pool sizes.
+    procs:
+        When positive, ``optimize`` jobs escalate to a process pool of
+        this size and ``sweep`` jobs pass it as their ``workers`` fan-
+        out.  Zero keeps everything in-thread (always available).
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        threads: int = 4,
+        heavy_threads: int = 2,
+        procs: int = 0,
+    ) -> None:
+        if threads < 1 or heavy_threads < 1:
+            raise ValueError("worker pools need at least one thread each")
+        self.session = session
+        self.threads = threads
+        self.heavy_threads = heavy_threads
+        self.procs = max(0, procs)
+        self._light = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="pops-light"
+        )
+        self._heavy = ThreadPoolExecutor(
+            max_workers=heavy_threads, thread_name_prefix="pops-heavy"
+        )
+        self._proc_pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool selection ------------------------------------------------
+
+    def executor_for(self, kind: str) -> ThreadPoolExecutor:
+        """The thread pool a kind's work runs on."""
+        return self._heavy if kind in HEAVY_KINDS else self._light
+
+    def _process_pool(self) -> ProcessPoolExecutor:
+        if self._proc_pool is None:
+            self._proc_pool = ProcessPoolExecutor(max_workers=self.procs)
+        return self._proc_pool
+
+    # -- execution -----------------------------------------------------
+
+    def run(
+        self,
+        kind: str,
+        payload: Dict[str, Any],
+        progress: Optional[EventFn] = None,
+    ) -> Dict[str, Any]:
+        """Execute one unit of work; return the record's lossless dict.
+
+        Runs *in a worker thread* (the server dispatches it via
+        ``run_in_executor``).  Job exceptions propagate to the caller,
+        which turns them into error events.
+        """
+        if kind == "bounds":
+            return self.session.bounds(Job.from_dict(payload)).to_dict()
+        if kind == "power":
+            return self.session.power(Job.from_dict(payload)).to_dict()
+        if kind == "mc":
+            return self.session.mc(Job.from_dict(payload)).to_dict()
+        if kind == "optimize":
+            return self._run_optimize(Job.from_dict(payload))
+        if kind == "sweep":
+            return self._run_sweep(SweepSpec.from_dict(payload), progress)
+        raise ProtocolError(f"unsupported submit kind {kind!r}")
+
+    def _run_optimize(self, job: Job) -> Dict[str, Any]:
+        """One optimization, in-process or on the process pool."""
+        if self.procs > 0:
+            task = (
+                self.session.library,
+                self.session.flimits(),
+                self.session.bench_dir,
+                job.to_dict(),
+            )
+            try:
+                outcome = self._process_pool().submit(
+                    _optimize_job_worker, task
+                ).result()
+            except POOL_ERRORS:
+                # No working subprocesses here: permanently fall back to
+                # in-thread execution (same records, by contract).
+                self.procs = 0
+            else:
+                if JOB_ERROR_KEY in outcome:
+                    raise outcome[JOB_ERROR_KEY]
+                self.session.stats.jobs_run += 1
+                return outcome
+        return self.session.optimize(job).to_dict()
+
+    def _run_sweep(
+        self, spec: SweepSpec, progress: Optional[EventFn]
+    ) -> Dict[str, Any]:
+        """One sweep campaign; per-point completions stream as events."""
+        from repro.explore import run_sweep
+
+        progress_cb = None
+        if progress is not None:
+
+            def progress_cb(done: int, total: int, label: str) -> None:
+                progress(
+                    {
+                        "event": "progress",
+                        "done": int(done),
+                        "total": int(total),
+                        "label": label,
+                    }
+                )
+
+        result = run_sweep(
+            self.session,
+            spec,
+            workers=self.procs if self.procs > 0 else None,
+            progress=progress_cb,
+        )
+        return result.record().to_dict()
+
+    # -- lifecycle / observability -------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Tear the pools down (after the server drained its queue)."""
+        self._light.shutdown(wait=wait)
+        self._heavy.shutdown(wait=wait)
+        if self._proc_pool is not None:
+            self._proc_pool.shutdown(wait=wait)
+            self._proc_pool = None
+
+    def stats(self) -> Dict[str, Any]:
+        """Pool shape for the status endpoint."""
+        return {
+            "threads": self.threads,
+            "heavy_threads": self.heavy_threads,
+            "procs": self.procs,
+        }

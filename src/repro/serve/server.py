@@ -1,0 +1,484 @@
+"""The asyncio daemon: one shared session, many tenants.
+
+:class:`PopsServer` listens on a local socket (unix-domain by default,
+TCP loopback optionally), speaks the NDJSON protocol of
+:mod:`repro.serve.protocol`, and owns:
+
+* one lock-guarded, bounded-cache :class:`~repro.api.session.Session`
+  (the amortized state every request shares);
+* a :class:`~repro.serve.queue.PriorityJobQueue` drained by asyncio
+  worker tasks that dispatch into the
+  :class:`~repro.serve.scheduler.JobExecutor` pools;
+* the in-flight coalescing table (``spec key -> ticket``) and the
+  optional content-addressed :class:`~repro.serve.store.ResultStore`.
+
+Lifecycle: ``await start()`` binds the socket and spawns workers;
+``await wait_closed()`` parks until a shutdown request (or
+:meth:`shutdown`) completes.  A draining shutdown stops accepting new
+submissions immediately, finishes every queued and in-flight job (their
+waiters all receive their ``done`` events), then tears the pools down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import __version__
+from repro.api.session import Session
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_event,
+    job_spec_key,
+    validate_request,
+    validate_submit,
+)
+from repro.serve.queue import JobTicket, PriorityJobQueue, ServeStats
+from repro.serve.scheduler import JobExecutor
+from repro.serve.store import ResultStore
+
+
+@dataclass
+class ServeConfig:
+    """Everything a daemon needs to come up.
+
+    Exactly one listening surface: ``socket_path`` (unix-domain, the
+    default surface) or ``host``/``port`` (TCP loopback; port 0 binds an
+    ephemeral port, readable from :attr:`PopsServer.address` after
+    start).
+    """
+
+    socket_path: Optional[str] = None
+    host: Optional[str] = None
+    port: int = 0
+    threads: int = 4
+    heavy_threads: int = 2
+    procs: int = 0
+    store_dir: Optional[str] = None
+    cache_limit: Optional[int] = 1024
+    bench_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.socket_path is None) == (self.host is None):
+            raise ValueError(
+                "give exactly one of 'socket_path' and 'host' (+'port')"
+            )
+
+
+class PopsServer:
+    """The multi-tenant optimization daemon."""
+
+    def __init__(
+        self, config: ServeConfig, session: Optional[Session] = None
+    ) -> None:
+        self.config = config
+        self.session = (
+            session
+            if session is not None
+            else Session(
+                bench_dir=config.bench_dir, cache_limit=config.cache_limit
+            )
+        )
+        self.executor = JobExecutor(
+            self.session,
+            threads=config.threads,
+            heavy_threads=config.heavy_threads,
+            procs=config.procs,
+        )
+        self.store = (
+            ResultStore(config.store_dir) if config.store_dir else None
+        )
+        self.stats = ServeStats()
+        self.queue = PriorityJobQueue()
+        self._inflight: Dict[str, JobTicket] = {}
+        self._draining = False
+        self._shutting_down = False
+        self._started_unix = 0.0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._workers: List[asyncio.Task] = []
+        self._closed: Optional[asyncio.Event] = None
+        self._gate: Optional[asyncio.Event] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> Dict[str, Any]:
+        """Where the daemon listens (JSON-native, for the ready line)."""
+        if self.config.socket_path is not None:
+            return {"socket": self.config.socket_path}
+        port = self.config.port
+        if self._server is not None and self._server.sockets:
+            port = self._server.sockets[0].getsockname()[1]
+        return {"host": self.config.host, "port": port}
+
+    @property
+    def draining(self) -> bool:
+        """Whether a shutdown drain has begun (submits are rejected)."""
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind the socket and spawn the queue workers."""
+        self.loop = asyncio.get_running_loop()
+        self._closed = asyncio.Event()
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self._started_unix = time.time()
+        limit = MAX_LINE_BYTES + 1024
+        if self.config.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.socket_path, limit=limit
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=limit,
+            )
+        n_workers = self.config.threads + self.config.heavy_threads
+        self._workers = [
+            self.loop.create_task(self._worker(), name=f"pops-worker-{i}")
+            for i in range(n_workers)
+        ]
+
+    async def wait_closed(self) -> None:
+        """Park until a shutdown has fully completed."""
+        assert self._closed is not None, "server was never started"
+        await self._closed.wait()
+
+    async def run(self) -> None:
+        """``start()`` then park until shutdown (the daemon main)."""
+        await self.start()
+        await self.wait_closed()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop the daemon.
+
+        ``drain=True`` (graceful): refuse new submissions, finish every
+        queued and in-flight job -- all waiters get their ``done``
+        events -- then exit.  ``drain=False``: queued-but-unstarted
+        tickets are failed with a shutdown error; jobs already on a
+        worker still run to completion (threads cannot be interrupted
+        safely).
+        """
+        if self._shutting_down:
+            return
+        self._shutting_down = True
+        self._draining = True
+        if not drain:
+            await self._cancel_backlog()
+        await self.queue.join()
+        for _ in self._workers:
+            self.queue.put_sentinel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.executor.shutdown()
+        if self.config.socket_path is not None:
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:
+                pass
+        assert self._closed is not None
+        self._closed.set()
+
+    async def _cancel_backlog(self) -> None:
+        """Fail every queued-but-unstarted ticket (non-drain shutdown)."""
+        while self.queue.depth > 0:
+            ticket = await self.queue.get()
+            if ticket is None:
+                self.queue.task_done()
+                continue
+            self._inflight.pop(ticket.key, None)
+            self.stats.failed += 1
+            ticket.publish(
+                error_event(
+                    RuntimeError("server shut down before the job started"),
+                    key=ticket.key,
+                )
+            )
+            self.queue.task_done()
+
+    # -- test / operational affordances --------------------------------
+
+    def pause(self) -> None:
+        """Hold workers before their next job (thread-safe, for tests)."""
+        assert self.loop is not None and self._gate is not None
+        self.loop.call_soon_threadsafe(self._gate.clear)
+
+    def resume(self) -> None:
+        """Release paused workers (thread-safe)."""
+        assert self.loop is not None and self._gate is not None
+        self.loop.call_soon_threadsafe(self._gate.set)
+
+    def request_shutdown(self, drain: bool = True) -> None:
+        """Schedule a shutdown from any thread."""
+        assert self.loop is not None
+        self.loop.call_soon_threadsafe(
+            lambda: self.loop.create_task(self.shutdown(drain=drain))
+        )
+
+    # -- the status block ----------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """The full observability snapshot (the ``status`` event body)."""
+        status: Dict[str, Any] = {
+            "event": "status",
+            "version": PROTOCOL_VERSION,
+            "pops": __version__,
+            "pid": os.getpid(),
+            "uptime_s": time.time() - self._started_unix,
+            "draining": self._draining,
+            "serve": self.stats.as_dict(),
+            "queue": {
+                "depth": self.queue.depth,
+                "inflight": len(self._inflight),
+            },
+            "pools": self.executor.stats(),
+            "session": self.session.cache_stats(),
+        }
+        if self.store is not None:
+            status["store"] = self.store.stats()
+        return status
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        try:
+            raw = await reader.readline()
+            if not raw:
+                return
+            try:
+                message = decode_line(raw)
+                op = validate_request(message)
+            except ProtocolError as exc:
+                await self._send(writer, error_event(exc))
+                return
+            if op == "ping":
+                await self._send(
+                    writer,
+                    {
+                        "event": "pong",
+                        "version": PROTOCOL_VERSION,
+                        "pops": __version__,
+                        "draining": self._draining,
+                    },
+                )
+            elif op == "status":
+                await self._send(writer, self.status())
+            elif op == "shutdown":
+                drain = bool(message.get("drain", True))
+                await self._send(
+                    writer,
+                    {
+                        "event": "shutting-down",
+                        "drain": drain,
+                        "queued": self.queue.depth + len(self._inflight),
+                    },
+                )
+                assert self.loop is not None
+                self.loop.create_task(self.shutdown(drain=drain))
+            elif op == "submit":
+                await self._handle_submit(message, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; any job it queued keeps running
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, event: Dict[str, Any]
+    ) -> None:
+        writer.write(encode_line(event))
+        await writer.drain()
+
+    async def _handle_submit(
+        self, message: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        if self._draining:
+            self.stats.rejected += 1
+            await self._send(
+                writer,
+                error_event(
+                    RuntimeError("server is draining; not accepting new work")
+                ),
+            )
+            return
+        try:
+            kind, payload = validate_submit(message)
+        except ProtocolError as exc:
+            await self._send(writer, error_event(exc))
+            return
+        key = job_spec_key(kind, payload)
+        self.stats.submitted += 1
+
+        # 1. Content-addressed store: repeat submissions skip the queue.
+        if self.store is not None and not message.get("no_cache"):
+            record = self.store.get(key)
+            if record is not None:
+                self.stats.store_hits += 1
+                await self._send(
+                    writer,
+                    {
+                        "event": "queued",
+                        "key": key,
+                        "kind": kind,
+                        "coalesced": False,
+                        "cached": True,
+                    },
+                )
+                await self._send(
+                    writer,
+                    {
+                        "event": "done",
+                        "key": key,
+                        "record": record,
+                        "cached": True,
+                    },
+                )
+                return
+
+        # 2. Coalesce onto an in-flight ticket, or enqueue a new one.
+        #    (No awaits between the lookup and subscribe: the check is
+        #    atomic relative to the worker that retires the ticket.)
+        ticket = self._inflight.get(key)
+        coalesced = ticket is not None
+        if ticket is None:
+            ticket = JobTicket(
+                key=key,
+                kind=kind,
+                payload=payload,
+                priority=int(message.get("priority", 0)),
+            )
+            self._inflight[key] = ticket
+            self.queue.put(ticket)
+        else:
+            self.stats.coalesced += 1
+        events = ticket.subscribe()
+        await self._send(
+            writer,
+            {
+                "event": "queued",
+                "key": key,
+                "kind": kind,
+                "coalesced": coalesced,
+                "cached": False,
+                "queue_depth": self.queue.depth,
+            },
+        )
+
+        # 3. Stream the ticket's events until it settles.
+        while True:
+            event = await events.get()
+            await self._send(writer, event)
+            if event.get("event") in ("done", "error"):
+                break
+
+    # -- queue workers --------------------------------------------------
+
+    async def _worker(self) -> None:
+        assert self.loop is not None and self._gate is not None
+        while True:
+            ticket = await self.queue.get()
+            if ticket is None:
+                self.queue.task_done()
+                return
+            await self._gate.wait()
+            try:
+                await self._execute(ticket)
+            finally:
+                self.queue.task_done()
+
+    async def _execute(self, ticket: JobTicket) -> None:
+        assert self.loop is not None
+        loop = self.loop
+        ticket.publish(
+            {"event": "started", "key": ticket.key, "kind": ticket.kind}
+        )
+
+        def progress(event: Dict[str, Any]) -> None:
+            # Called from worker threads: hop back onto the loop.
+            payload = dict(event)
+            payload["key"] = ticket.key
+            loop.call_soon_threadsafe(ticket.publish, payload)
+
+        started = time.perf_counter()
+        try:
+            record = await loop.run_in_executor(
+                self.executor.executor_for(ticket.kind),
+                self.executor.run,
+                ticket.kind,
+                ticket.payload,
+                progress,
+            )
+        except Exception as exc:
+            self.stats.failed += 1
+            outcome = error_event(exc, key=ticket.key)
+        else:
+            self.stats.executed += 1
+            if self.store is not None:
+                self.store.put(ticket.key, record)
+            outcome = {
+                "event": "done",
+                "key": ticket.key,
+                "record": record,
+                "cached": False,
+                "elapsed_s": time.perf_counter() - started,
+                "waiters": ticket.waiters,
+            }
+        self._inflight.pop(ticket.key, None)
+        ticket.publish(outcome)
+
+
+def start_server_thread(
+    config: ServeConfig,
+    session: Optional[Session] = None,
+    timeout_s: float = 30.0,
+) -> Tuple[PopsServer, threading.Thread]:
+    """Run a daemon on a background thread; return once it listens.
+
+    The embedding surface tests, examples and notebooks use: the caller
+    talks to the returned server through a
+    :class:`~repro.serve.client.ServeClient` (or its thread-safe
+    ``pause``/``resume``/``request_shutdown`` affordances) and joins the
+    thread after requesting shutdown.
+    """
+    server = PopsServer(config, session=session)
+    ready = threading.Event()
+    failure: List[BaseException] = []
+
+    def runner() -> None:
+        async def main() -> None:
+            await server.start()
+            ready.set()
+            await server.wait_closed()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # surfaced to the starting thread
+            failure.append(exc)
+            ready.set()
+
+    thread = threading.Thread(target=runner, name="pops-serve", daemon=True)
+    thread.start()
+    if not ready.wait(timeout_s):
+        raise RuntimeError("serve daemon did not come up in time")
+    if failure:
+        raise failure[0]
+    return server, thread

@@ -1,0 +1,97 @@
+"""Content-addressed on-disk store of completed run records.
+
+Records are filed under their :func:`~repro.serve.protocol.job_spec_key`
+-- the SHA-256 of the canonical request content -- so a repeat
+submission of the same spec is served from disk without touching the
+queue, across daemon restarts.  Layout (two-level fan-out keeps any one
+directory small under millions of records)::
+
+    <root>/
+      ab/
+        abcdef....json    # one lossless RunRecord envelope per key
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-write
+can never leave a torn record: the key either resolves to a complete
+envelope or misses and the job is recomputed.  A stored file that fails
+to parse is treated as a miss and overwritten by the next completion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+
+class ResultStore:
+    """Spec-hash addressed archive of ``RunRecord.to_dict()`` envelopes."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({self.root!r}, hits={self.hits}, misses={self.misses})"
+
+    def path_for(self, key: str) -> str:
+        """Where a key's record lives (whether or not it exists yet)."""
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record dict for a key, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(record, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: Dict[str, Any]) -> str:
+        """Atomically file a completed record under its key."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def count(self) -> int:
+        """Number of records on disk (a walk; observability only)."""
+        total = 0
+        for _, _, files in os.walk(self.root):
+            total += sum(1 for name in files if name.endswith(".json"))
+        return total
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-native counters for the status endpoint."""
+        return {
+            "root": self.root,
+            "records": self.count(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }

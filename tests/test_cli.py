@@ -44,7 +44,34 @@ class TestCommands:
         assert "method" in out
         assert "feasible" in out
 
-    def test_unknown_benchmark_raises(self):
+    def test_unknown_benchmark_is_a_clean_error(self, capsys):
+        assert main(["bounds", "c0000"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "c0000" in captured.err
+        assert captured.out == ""  # no traceback, nothing on stdout
+
+    def test_unknown_benchmark_json_error(self, capsys):
+        assert main(["bounds", "c0000", "--json"]) == 2
+        captured = capsys.readouterr()
+        body = json.loads(captured.out)  # machine-parseable even on failure
+        assert body["error"]["type"] == "KeyError"
+        assert "c0000" in body["error"]["message"]
+        assert captured.err.startswith("error:")
+
+    def test_unexpected_errors_exit_1(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(args):
+            raise RuntimeError("internal invariant violated")
+
+        monkeypatch.setitem(cli._COMMANDS, "benchmarks", boom)
+        assert main(["benchmarks", "--json"]) == 1
+        body = json.loads(capsys.readouterr().out)
+        assert body["error"]["type"] == "RuntimeError"
+
+    def test_pops_debug_reraises(self, monkeypatch):
+        monkeypatch.setenv("POPS_DEBUG", "1")
         with pytest.raises(KeyError):
             main(["bounds", "c0000"])
 
@@ -226,3 +253,86 @@ class TestSweepCommand:
         assert main(self.GRID + ["--store", store]) == 2
         err = capsys.readouterr().err
         assert "error:" in err and "--resume" in err
+
+
+class TestServeCli:
+    """The daemon client subcommands against an in-process server."""
+
+    @pytest.fixture()
+    def daemon(self, tmp_path):
+        from repro.serve import ServeConfig, start_server_thread
+
+        sock = str(tmp_path / "pops.sock")
+        config = ServeConfig(
+            socket_path=sock,
+            threads=2,
+            heavy_threads=1,
+            store_dir=str(tmp_path / "store"),
+            cache_limit=64,
+        )
+        server, thread = start_server_thread(config)
+        yield sock
+        server.request_shutdown(drain=True)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_submit_bounds_text(self, daemon, capsys):
+        assert main(["submit", "bounds", "fpd", "--socket", daemon]) == 0
+        captured = capsys.readouterr()
+        assert "kind     : bounds" in captured.out
+        assert "cached   : False" in captured.out
+        # the NDJSON event stream lands on stderr
+        events = [json.loads(line) for line in captured.err.splitlines()]
+        assert [e["event"] for e in events] == ["queued", "started"]
+
+    def test_submit_json_record_round_trips(self, daemon, capsys):
+        from repro.api import RunRecord, Session
+
+        assert main(["submit", "optimize", "fpd", "--socket", daemon,
+                     "--tc-ratio", "1.4", "--quiet", "--json"]) == 0
+        record = RunRecord.from_json(capsys.readouterr().out)
+        from repro.api import Job
+
+        direct = Session().optimize(Job(benchmark="fpd", tc_ratio=1.4))
+        assert record.to_dict(with_timing=False) == direct.to_dict(
+            with_timing=False
+        )
+
+    def test_second_submit_is_cached(self, daemon, capsys):
+        args = ["submit", "mc", "fpd", "--samples", "64", "--socket", daemon,
+                "--quiet"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "cached   : True" in capsys.readouterr().out
+
+    def test_status_text_and_json(self, daemon, capsys):
+        assert main(["submit", "bounds", "fpd", "--socket", daemon,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["status", "--socket", daemon]) == 0
+        out = capsys.readouterr().out
+        assert "Session caches" in out and "store    :" in out
+        assert main(["status", "--socket", daemon, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["serve"]["submitted"] >= 1
+        assert status["queue"]["depth"] == 0
+        assert "bounds" in status["session"]["caches"]
+
+    def test_shutdown_command_drains(self, tmp_path, capsys):
+        from repro.serve import ServeConfig, start_server_thread
+
+        sock = str(tmp_path / "one.sock")
+        server, thread = start_server_thread(
+            ServeConfig(socket_path=sock, threads=1, heavy_threads=1)
+        )
+        assert main(["shutdown", "--socket", sock]) == 0
+        assert "drained" in capsys.readouterr().out
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_client_error_when_daemon_is_down(self, tmp_path, capsys):
+        sock = str(tmp_path / "nobody.sock")
+        assert main(["status", "--socket", sock, "--json"]) == 2
+        body = json.loads(capsys.readouterr().out)
+        assert body["error"]["type"] == "ServeClientError"

@@ -61,3 +61,11 @@ class TestExamples:
         assert "guard band" in result.stdout
         assert "yield@Tc" in result.stdout
         assert "sizings re-bound" in result.stdout
+
+    def test_serve_client(self):
+        result = _run("serve_client.py")
+        assert result.returncode == 0, result.stderr
+        assert "executions       : 1 (coalesced 4)" in result.stdout
+        assert "distinct records : 1" in result.stdout
+        assert "cached = True" in result.stdout
+        assert "drained clean (socket gone: True)" in result.stdout
