@@ -1,0 +1,129 @@
+"""Batch candidate evaluation: cone-sparse probes vs the scalar loop.
+
+The optimizer's probe traffic -- central-difference sensitivities, trial
+buffer pairs -- evaluates many single-gate edits of one base state.
+``repro.timing.batch_probe`` turns a probe batch into columns of one
+compiled-circuit propagation restricted to the union of affected
+fan-out cones.  This bench measures all three strategies (scalar
+``IncrementalSta`` loop, dense batch, cone-sparse batch) over the
+paper's circuit set, asserts *exact* agreement (the kernel's contract is
+bit-identity with the scalar path), gates the ISSUE's >= 3x bar on
+c7552, and provides the CI perf kernel tracked in ``BENCH_BASELINE.json``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.iscas.loader import load_benchmark
+from repro.protocol.report import format_table
+from repro.timing.batch_probe import BatchProbeEngine
+from repro.timing.incremental import IncrementalSta
+from repro.timing.sta import gate_sizes
+
+from conftest import CORE_CIRCUITS, emit
+
+#: Probed gates per circuit in the speedup table (two columns per gate);
+#: capped so the scalar reference loop keeps the table affordable.
+N_PROBE_GATES = 96
+
+
+def _probe_set(circuit, lib, n_gates=N_PROBE_GATES, rel_step=1e-3):
+    """(gate, cin) probe columns: a central difference per sampled gate."""
+    sizes = gate_sizes(circuit, lib)
+    names = list(circuit.gates)
+    if len(names) > n_gates:
+        step = len(names) / n_gates
+        names = [names[int(i * step)] for i in range(n_gates)]
+    probes = []
+    for name in names:
+        base = sizes[name]
+        h = max(abs(base) * rel_step, 1e-9)
+        probes.append((name, base + h))
+        probes.append((name, base - h))
+    return probes
+
+
+def _scalar_probe_loop(circuit, engine, probes):
+    out = []
+    for name, cin in probes:
+        gate = circuit.gates[name]
+        original = gate.cin_ff
+        gate.cin_ff = cin
+        out.append(engine.update((name,)).critical_delay_ps)
+        gate.cin_ff = original
+        engine.update((name,))
+    return np.array(out)
+
+
+def test_batch_probe_speedup_table(lib):
+    rows = []
+    sparse_speedup = {}
+    for name in CORE_CIRCUITS:
+        circuit = load_benchmark(name)
+        probes = _probe_set(circuit, lib)
+
+        engine = IncrementalSta(circuit, lib)
+        start = time.perf_counter()
+        scalar = _scalar_probe_loop(circuit, engine, probes)
+        t_scalar = time.perf_counter() - start
+
+        dense_engine = BatchProbeEngine(circuit, lib, mode="dense")
+        start = time.perf_counter()
+        dense = dense_engine.sizing_delays(probes)
+        t_dense = time.perf_counter() - start
+
+        sparse_engine = BatchProbeEngine(circuit, lib)
+        start = time.perf_counter()
+        sparse = sparse_engine.sizing_delays(probes)
+        t_sparse = time.perf_counter() - start
+
+        # The kernel's contract: bit-identical to the scalar loop, always.
+        assert np.array_equal(sparse, scalar)
+        assert np.array_equal(dense, scalar)
+
+        speedup = t_scalar / t_sparse if t_sparse > 0 else float("inf")
+        sparse_speedup[name] = speedup
+        rows.append(
+            (
+                name,
+                len(circuit.gates),
+                len(probes),
+                f"{1000.0 * t_scalar:.1f}",
+                f"{1000.0 * t_dense:.1f}",
+                f"{1000.0 * t_sparse:.1f}",
+                f"{speedup:.1f}x",
+            )
+        )
+    body = format_table(
+        (
+            "circuit",
+            "gates",
+            "columns",
+            "scalar (ms)",
+            "dense (ms)",
+            "sparse (ms)",
+            "speedup",
+        ),
+        rows,
+    )
+    emit("Batch probes -- scalar loop vs dense vs cone-sparse batch", body)
+    # The ISSUE's acceptance bar: >= 3x over the scalar probe loop on c7552.
+    assert sparse_speedup["c7552"] >= 3.0
+    # The gain must hold across the larger half of the set.
+    for name in ("c1908", "c3540", "c5315"):
+        assert sparse_speedup[name] > 1.0, name
+
+
+# -- tier-1 kernel for the CI perf gate --------------------------------
+
+
+def test_kernel_batch_probes(benchmark, lib):
+    """One 512-column cone-sparse sizing batch on c7552 (warm engine)."""
+    circuit = load_benchmark("c7552")
+    engine = BatchProbeEngine(circuit, lib)
+    probes = _probe_set(circuit, lib, n_gates=256)
+    assert len(probes) == 512
+
+    delays = benchmark(engine.sizing_delays, probes)
+    assert np.all(delays > 0)

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Check internal links and anchors in the repo's markdown docs.
+
+Stdlib-only, so it runs anywhere (CI docs step, tests/test_docs.py).
+For every checked file it validates:
+
+- relative links point at files/directories that exist in the repo;
+- fragment links (``#anchor``, on their own or after a relative path)
+  resolve to a heading in the target file, using GitHub's slug rules
+  (lowercase, spaces to hyphens, punctuation dropped);
+- inline code spans are ignored, so ``[x](y)`` inside backticks is not
+  treated as a link.
+
+External links (http/https/mailto) are not fetched.
+
+Exit status: 0 when clean, 1 with one ``file: message`` line per
+problem on stderr.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKED_FILES = ("README.md", "docs/ARCHITECTURE.md")
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_SLUG_DROP_RE = re.compile(r"[^\w\- ]")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading text."""
+    text = _CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = _LINK_RE.sub(lambda m: m.group(0)[1 : m.group(0).index("]")], text)
+    text = _SLUG_DROP_RE.sub("", text.lower())
+    return text.replace(" ", "-")
+
+
+def _strip_code(text: str) -> str:
+    """Remove fenced blocks and inline code spans before link scanning."""
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(_CODE_SPAN_RE.sub("", line))
+    return "\n".join(out)
+
+
+def heading_slugs(path: Path) -> set:
+    """All GitHub anchor slugs defined by a markdown file's headings."""
+    slugs = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            base = github_slug(match.group(2))
+            # Duplicate headings get -1, -2, ... suffixes on GitHub.
+            n = slugs.get(base, 0)
+            slugs[base] = n + 1
+            if n:
+                slugs["%s-%d" % (base, n)] = 1
+    return set(slugs)
+
+
+def check_file(path: Path) -> list:
+    """All link problems in one markdown file, as message strings."""
+    problems = []
+    text = _strip_code(path.read_text(encoding="utf-8"))
+    for target in _LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        ref, _, fragment = target.partition("#")
+        if ref:
+            dest = (path.parent / ref).resolve()
+            if not dest.exists():
+                problems.append("broken link %r (no such file)" % target)
+                continue
+        else:
+            dest = path
+        if fragment:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                continue
+            if fragment not in heading_slugs(dest):
+                try:
+                    shown = dest.relative_to(REPO_ROOT)
+                except ValueError:
+                    shown = dest
+                problems.append(
+                    "broken anchor %r (no heading #%s in %s)"
+                    % (target, fragment, shown)
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    names = (argv or sys.argv)[1:] or list(CHECKED_FILES)
+    failures = 0
+    for name in names:
+        path = REPO_ROOT / name
+        if not path.exists():
+            print("%s: file missing" % name, file=sys.stderr)
+            failures += 1
+            continue
+        for problem in check_file(path):
+            print("%s: %s" % (name, problem), file=sys.stderr)
+            failures += 1
+    if failures:
+        print("check_docs: %d problem(s)" % failures, file=sys.stderr)
+        return 1
+    print("check_docs: %d file(s) clean" % len(names))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

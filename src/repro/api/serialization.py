@@ -181,6 +181,7 @@ def circuit_result_to_dict(result: CircuitOptimizationResult) -> Dict[str, Any]:
         "critical_delay_ps": _finite(result.critical_delay_ps),
         "feasible": bool(result.feasible),
         "passes": int(result.passes),
+        "rescued_gates": list(result.rescued_gates),
         "path_results": [protocol_result_to_dict(r) for r in result.path_results],
     }
 
@@ -195,6 +196,7 @@ def circuit_result_from_dict(
         critical_delay_ps=data["critical_delay_ps"],
         feasible=data["feasible"],
         passes=data["passes"],
+        rescued_gates=tuple(data.get("rescued_gates", ())),
         path_results=[
             protocol_result_from_dict(r, library) for r in data["path_results"]
         ],

@@ -346,6 +346,9 @@ class CircuitOptimizationResult:
         Per-pass path protocol outcomes, in application order.
     passes:
         Number of extract-optimize-reapply rounds executed.
+    rescued_gates:
+        Gates that received a netlist-level buffer pair in the opt-in
+        ``rescue_buffers`` endgame (empty unless it ran and helped).
     """
 
     circuit: Circuit
@@ -354,6 +357,7 @@ class CircuitOptimizationResult:
     feasible: bool
     path_results: List[ProtocolResult] = field(default_factory=list)
     passes: int = 0
+    rescued_gates: Tuple[str, ...] = ()
 
 
 def optimize_circuit(
@@ -366,6 +370,7 @@ def optimize_circuit(
     weight_mode: str = "uniform",
     allow_restructuring: bool = True,
     warm: Optional[WarmStart] = None,
+    rescue_buffers: bool = False,
 ) -> CircuitOptimizationResult:
     """Apply the path protocol over a circuit's critical paths.
 
@@ -378,6 +383,14 @@ def optimize_circuit(
     ``warm`` carries engine state and pure-function memos between calls
     of a Tc-sweep (see :class:`WarmStart`); it changes only how much work
     is re-done, never the result.
+
+    ``rescue_buffers`` (opt-in) adds a netlist-level endgame when the
+    path protocol alone leaves ``Tc`` unmet: greedy
+    :func:`~repro.buffering.netlist_insertion.reduce_delay_with_buffers`
+    rounds on the rolled-back best state, scored through the cone-sparse
+    batch kernel when enough gates are flagged.  Insertions are kept
+    only when they lower the critical delay, so the default
+    (``False``) and any non-improving run leave the result unchanged.
     """
     if limits is None:
         limits = default_flimits(library)
@@ -442,6 +455,13 @@ def optimize_circuit(
             passes += 1
             extracted = extract(first_pass=passes == 1)
             progressed = False
+            # Path outcomes within a pass never read the engine (they
+            # work on the extraction-time path snapshots), so sizing
+            # write-backs are batched into one cone update per pass
+            # instead of one per candidate -- bit-identical by the
+            # incremental-STA contract, since ``working`` carries every
+            # size the moment it is applied.
+            pending_updates: List[str] = []
             for candidate in extracted:
                 if candidate.delay_ps <= tc_ps:
                     continue
@@ -457,14 +477,19 @@ def optimize_circuit(
                 results.append(outcome)
                 if len(outcome.path) == len(candidate.path):
                     apply_path_sizes(working, candidate.gate_names, outcome.sizes)
-                    engine.update(candidate.gate_names)
+                    pending_updates.extend(candidate.gate_names)
                     progressed = True
                 else:
                     if _apply_structural_outcome(
                         working, library, candidate, outcome
                     ):
+                        # A structure refresh re-times from ``working``
+                        # wholesale, subsuming any pending size updates.
                         engine.refresh_structure()
+                        pending_updates.clear()
                         progressed = True
+            if pending_updates:
+                engine.update(tuple(pending_updates))
             if not progressed:
                 break
             # Sizing one path reloads adjacent paths (the interaction the
@@ -511,6 +536,21 @@ def optimize_circuit(
         }
         working.outputs = list(best_state.outputs)
         final = engine.refresh_structure()
+
+    # Opt-in endgame: when the path protocol alone cannot meet Tc, try
+    # netlist-level load dilution on the best state.  The greedy rounds
+    # keep an insertion only when it strictly lowers the critical delay,
+    # so a fruitless rescue changes nothing.
+    rescued: Tuple[str, ...] = ()
+    if rescue_buffers and final.critical_delay_ps > tc_ps:
+        from repro.buffering.netlist_insertion import reduce_delay_with_buffers
+
+        _, rescued, _ = reduce_delay_with_buffers(
+            working, library, limits=limits, engine=engine
+        )
+        if rescued:
+            final = engine.result()
+
     return CircuitOptimizationResult(
         circuit=working,
         tc_ps=tc_ps,
@@ -518,4 +558,5 @@ def optimize_circuit(
         feasible=final.critical_delay_ps <= tc_ps,
         path_results=results,
         passes=passes,
+        rescued_gates=rescued,
     )

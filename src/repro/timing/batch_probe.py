@@ -1,0 +1,631 @@
+"""Cone-sparse batch evaluation of single-gate candidate edits.
+
+The optimizer's hot loops ask one question many times: *"what would the
+circuit's critical delay be if I changed exactly one gate?"* -- a
+central-difference sensitivity probe perturbs one ``C_IN``, a trial
+buffer insertion hangs an inverter pair behind one gate.  The scalar
+path answers each probe with an
+:class:`~repro.timing.incremental.IncrementalSta` cone update; this
+module answers *hundreds at once*: every candidate edit becomes one
+**column** of a single compiled-circuit propagation
+(:class:`~repro.mc.compile.CompiledCircuit` supplies the levelized
+struct-of-arrays form), and only the ``(gate, column)`` pairs inside
+each edit's affected fan-out cone are recomputed -- the untouched
+remainder of every column is served from the shared base annotation.
+On the larger ISCAS circuits the affected cones fill only a few percent
+of the full ``gates x columns`` matrix, which is where the speedup over
+both the scalar loop and a dense batch comes from.
+
+Bit-exactness contract
+----------------------
+Results are **bit-identical** to the scalar ``IncrementalSta`` probe
+loop (and therefore to :func:`repro.timing.sta.analyze` of each edited
+circuit), not merely close.  The contract rests on the same three pins
+as :mod:`repro.mc.kernel`:
+
+* **op-order preservation** -- every derived quantity (total load,
+  Miller coupling, eq. 2/3 transitions, the eq. 1 sum) is computed with
+  exactly the scalar kernels' operation order, association included;
+  base values are taken from a nominal-corner
+  :func:`~repro.mc.kernel.batch_analyze` run, which is already pinned
+  bit-exact against ``analyze``;
+* **fan-in-independent eq. 2 transition** -- a gate's output transition
+  depends only on the output edge and the gate's own size/load, never on
+  which fan-in arc wins, so the per-edge reduction needs only ``max``
+  over candidate arrival times, which is exact in floating point;
+* **shared load summation** -- the few per-column load overrides are
+  computed by :func:`repro.timing.sta.gate_external_load` itself, in
+  fan-out-map order, so every float matches the scalar engine's.
+
+Recomputing a cone gate whose inputs happen to be unchanged reproduces
+its stored value exactly (same inputs, same ops), so cone
+*over*-approximation never costs accuracy, only work.
+
+Fallback threshold
+------------------
+Batching pays a fixed cost (compilation, base annotation, chunked array
+allocation) that the cone-sparse evaluation amortises only past roughly
+a hundred columns; below :data:`BATCH_PROBE_MIN_COLUMNS` (128) the
+dispatchers in :mod:`repro.sizing.sensitivity` and
+:mod:`repro.buffering.netlist_insertion` keep the warm-started scalar
+loop.  Callers tune the boundary per call site via their
+``min_batch_columns`` parameter (``0`` forces batching, a huge value
+forces the scalar loop); the eq. 6 bracket sweeps stay scalar by design
+-- their iterations are sequentially dependent, so there is nothing to
+batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.gate_types import GateKind
+from repro.cells.library import Library
+from repro.mc.compile import CompiledCircuit
+from repro.mc.corners import nominal_corners
+from repro.netlist.circuit import Circuit
+from repro.netlist.wireload import WireLoadModel
+from repro.timing.delay_model import coupling_factor
+from repro.timing.sta import gate_external_load
+
+#: Column count under which the scalar ``IncrementalSta`` loop wins:
+#: the batch path's fixed costs (compile + base annotation + chunk
+#: allocation) are only amortised past ~128 simultaneous probes.
+BATCH_PROBE_MIN_COLUMNS = 128
+
+#: Columns evaluated per dense backing allocation; bounds peak memory at
+#: ``4 * n_nets * chunk`` floats regardless of the probe count.
+DEFAULT_CHUNK_COLUMNS = 256
+
+
+def should_batch(n_columns: int, min_columns: Optional[int] = None) -> bool:
+    """Decide scalar-vs-batch for ``n_columns`` simultaneous probes.
+
+    ``min_columns`` overrides :data:`BATCH_PROBE_MIN_COLUMNS`; both
+    paths return bit-identical results, so the choice is purely a
+    performance trade (see the module docstring).
+    """
+    limit = BATCH_PROBE_MIN_COLUMNS if min_columns is None else min_columns
+    return n_columns >= limit
+
+
+class _Column:
+    """Schedule of one probe column: its cone and parameter overrides."""
+
+    __slots__ = ("cone", "n_over", "over_cin", "over_load", "pair_load_b")
+
+    def __init__(
+        self,
+        cone: np.ndarray,
+        n_over: int,
+        over_cin: np.ndarray,
+        over_load: np.ndarray,
+        pair_load_b: Optional[float],
+    ) -> None:
+        self.cone = cone  # gate ids; the first ``n_over`` carry overrides
+        self.n_over = n_over
+        self.over_cin = over_cin
+        self.over_load = over_load
+        self.pair_load_b = pair_load_b  # buffer probes: bufb external load
+
+
+class BatchProbeEngine:
+    """Evaluate many single-gate candidate edits as one batch propagation.
+
+    One engine owns a private :class:`~repro.mc.compile.CompiledCircuit`
+    of ``circuit``'s structure plus the nominal base annotation of its
+    current sizing; :meth:`sizing_delays` and :meth:`buffer_pair_delays`
+    then answer whole probe batches without ever touching ``circuit`` or
+    any scalar engine.  Re-use across sizings of the same structure is
+    cheap: :meth:`bind` refreshes only the sizing-dependent state (the
+    :class:`~repro.api.session.Session` caches one engine per structure
+    key for exactly this reason).
+
+    Parameters mirror :func:`repro.timing.sta.analyze`; probes are
+    evaluated under these boundary conditions, so callers comparing
+    against an :class:`~repro.timing.incremental.IncrementalSta` must
+    construct both with the same ones.
+
+    ``mode`` selects the evaluation strategy: ``"sparse"`` (default)
+    recomputes only each probe's affected cone; ``"dense"`` recomputes
+    every gate in every column through the same pair machinery -- same
+    results, no cone savings (kept as the benchmark comparison point).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: Library,
+        input_transition_ps: float = 0.0,
+        output_load_ff: Optional[float] = None,
+        wire_model: Optional[WireLoadModel] = None,
+        mode: str = "sparse",
+        chunk_columns: int = DEFAULT_CHUNK_COLUMNS,
+    ) -> None:
+        if mode not in ("sparse", "dense"):
+            raise ValueError(f"mode must be 'sparse' or 'dense', got {mode!r}")
+        if chunk_columns < 1:
+            raise ValueError("chunk_columns must be >= 1")
+        self.library = library
+        self.mode = mode
+        self.chunk_columns = int(chunk_columns)
+        self.compiled = CompiledCircuit(
+            circuit,
+            library,
+            input_transition_ps=input_transition_ps,
+            output_load_ff=output_load_ff,
+            wire_model=wire_model,
+        )
+        comp = self.compiled
+        tech = library.tech
+        self._tau = tech.tau_ps
+        self._hv_rise = 0.5 * tech.vtn_reduced
+        self._hv_fall = 0.5 * tech.vtp_reduced
+        # Nominal rising-edge symmetry factor per gate (eq. 3), the
+        # scalar Cell.s_lh operation order with the nominal R.
+        self._s_lh = (
+            comp.dw_lh * (tech.r_ratio / comp.k_ratio) * (1.0 + comp.k_ratio) / 2.0
+        )
+        self._gate_id: Dict[str, int] = {
+            name: comp.row_of[name] - comp.n_inputs for name in comp.names
+        }
+        level_of = np.empty(comp.n_gates, dtype=np.intp)
+        for lvl, (start, end) in enumerate(comp.levels):
+            level_of[start:end] = lvl
+        self._level_of = level_of
+        # Gate-level fan-out adjacency (reader gate ids per gate id),
+        # deduplicated: closure walks need each edge once.
+        succ: List[List[int]] = [[] for _ in range(comp.n_gates)]
+        n_in = comp.n_inputs
+        for gid in range(comp.n_gates):
+            for slot in range(comp.fanin_rows.shape[1]):
+                if not comp.fanin_mask[gid, slot]:
+                    continue
+                row = int(comp.fanin_rows[gid, slot])
+                if row >= n_in and (not succ[row - n_in] or succ[row - n_in][-1] != gid):
+                    succ[row - n_in].append(gid)
+        self._succ = succ
+        # Reader names per gate in fan-out-map order (duplicates kept):
+        # the exact sink lists the scalar load summation iterates.
+        self._fanout_names: Dict[str, List[str]] = circuit.fanout_map()
+        self._output_set = set(circuit.outputs)
+        self._cones: Dict[Tuple[str, int], np.ndarray] = {}
+        self._all_gates = np.arange(comp.n_gates, dtype=np.intp)
+        self._bound_state_key: Optional[Tuple] = None
+        self.bind(circuit)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchProbeEngine({self.compiled.name!r}, "
+            f"gates={self.compiled.n_gates}, mode={self.mode!r})"
+        )
+
+    # -- sizing binding ------------------------------------------------
+
+    def bind(self, circuit: Circuit) -> "BatchProbeEngine":
+        """(Re-)bind ``circuit``'s current sizing and refresh the base.
+
+        ``circuit`` must share the compiled structure key.  The base
+        annotation is produced by a one-column nominal-corner
+        :func:`~repro.mc.kernel.batch_analyze` run -- the already
+        bit-exact twin of the scalar engines -- so every untouched
+        ``(net, column)`` cell a probe column serves from the base
+        equals the scalar engine's stored value bit for bit.
+        """
+        state_key = circuit.state_key()
+        if state_key == self._bound_state_key:
+            return self
+        from repro.mc.kernel import batch_analyze
+
+        comp = self.compiled.bind(circuit)
+        base = batch_analyze(comp, nominal_corners(self.library.tech, 1))
+        self._base_time_rise = base.time_rise[:, 0].copy()
+        self._base_time_fall = base.time_fall[:, 0].copy()
+        self._base_tran_rise = base.tran_rise[:, 0].copy()
+        self._base_tran_fall = base.tran_fall[:, 0].copy()
+        self.critical_delay_base_ps = float(base.critical_delay_ps[0])
+        n_in = comp.n_inputs
+        # Per-gate eq. 2 transitions at the bound sizing are exactly the
+        # gate rows of the base transition annotation.
+        self._tout_rise = self._base_tran_rise[n_in:]
+        self._tout_fall = self._base_tran_fall[n_in:]
+        inv = comp.inverting
+        # Load/coupling term of eq. 1 per switching-input polarity (a
+        # rising input drives the falling output of an inverting cell),
+        # the mc kernel's ``b`` arrays at the nominal corner.
+        self._b_rise = comp.half_coupling_rise * np.where(
+            inv, self._tout_fall, self._tout_rise
+        )
+        self._b_fall = comp.half_coupling_fall * np.where(
+            inv, self._tout_rise, self._tout_fall
+        )
+        self._sizes = comp.sizes_dict()
+        self._bound_state_key = state_key
+        return self
+
+    # -- cone machinery ------------------------------------------------
+
+    def _closure(self, seeds: Iterable[int]) -> np.ndarray:
+        """Transitive fan-out closure of ``seeds`` (seeds included)."""
+        seen = set(seeds)
+        stack = list(seen)
+        succ = self._succ
+        while stack:
+            gid = stack.pop()
+            for reader in succ[gid]:
+                if reader not in seen:
+                    seen.add(reader)
+                    stack.append(reader)
+        return np.fromiter(seen, dtype=np.intp, count=len(seen))
+
+    def _cone(self, kind: str, gid: int, seeds: Iterable[int]) -> np.ndarray:
+        """Memoized closure per (probe kind, probed gate)."""
+        key = (kind, gid)
+        cone = self._cones.get(key)
+        if cone is None:
+            cone = self._closure(seeds)
+            self._cones[key] = cone
+        return cone
+
+    def _drivers(self, gid: int) -> List[int]:
+        """Gate-side fan-in drivers of ``gid`` (deduplicated)."""
+        comp = self.compiled
+        n_in = comp.n_inputs
+        out: List[int] = []
+        for slot in range(comp.fanin_rows.shape[1]):
+            if not comp.fanin_mask[gid, slot]:
+                continue
+            row = int(comp.fanin_rows[gid, slot])
+            if row >= n_in and (row - n_in) not in out:
+                out.append(row - n_in)
+        return out
+
+    # -- probe surfaces ------------------------------------------------
+
+    def sizing_delays(self, probes: Sequence[Tuple[str, float]]) -> np.ndarray:
+        """Critical delay with one gate's ``C_IN`` overridden, per probe.
+
+        ``probes`` is a sequence of ``(gate_name, cin_ff)`` edits; each
+        becomes one column whose value equals -- bit for bit -- the
+        ``critical_delay_ps`` an ``IncrementalSta`` reports after
+        setting that single ``cin_ff`` on the bound circuit.  The bound
+        circuit itself is never touched.
+        """
+        comp = self.compiled
+        names = comp.names
+        columns: List[_Column] = []
+        sizes = self._sizes
+        for name, cin in probes:
+            gid = self._gate_id[name]
+            if cin <= 0:
+                raise ValueError(f"cin_ff must be positive, got {cin}")
+            drivers = self._drivers(gid)
+            over_ids = drivers + [gid]
+            over_cin = np.array(
+                [sizes[names[d]] for d in drivers] + [float(cin)]
+            )
+            # Driver loads re-summed with the probed size in place, by
+            # the scalar engine's own kernel and sink order.
+            original = sizes[name]
+            sizes[name] = float(cin)
+            try:
+                over_load = np.array(
+                    [self._external_load(names[d]) for d in drivers]
+                    + [float(comp.load[gid])]
+                )
+            finally:
+                sizes[name] = original
+            columns.append(
+                self._make_column(("s", gid), over_ids, over_cin, over_load, None)
+            )
+        return self._run(columns, pair_cin=None)
+
+    def buffer_pair_delays(
+        self, candidates: Sequence[str], cin_ff: Optional[float] = None
+    ) -> np.ndarray:
+        """Critical delay with a trial inverter pair behind each candidate.
+
+        The batch twin of
+        :func:`repro.buffering.netlist_insertion.trial_buffer_pairs`:
+        column ``i`` equals -- bit for bit -- the critical delay after
+        :func:`~repro.buffering.netlist_insertion.insert_buffer_pair`
+        on ``candidates[i]`` (both inverters sized ``cin_ff``, default
+        four reference inverters).  The pair is evaluated inline: the
+        candidate keeps its size but sees only the first inverter as
+        load, and its net row carries the *second* inverter's arrivals,
+        so every original reader -- and the output list, when the
+        candidate was a primary output -- reads the pair's output
+        exactly as in the rewired netlist.
+        """
+        comp = self.compiled
+        pair_cin = 4.0 * self.library.cref if cin_ff is None else float(cin_ff)
+        if pair_cin <= 0:
+            raise ValueError(f"cin_ff must be positive, got {pair_cin}")
+        columns: List[_Column] = []
+        for name in candidates:
+            gid = self._gate_id[name]
+            if (
+                f"{name}_bufa" in self._gate_id
+                or f"{name}_bufb" in self._gate_id
+            ):
+                raise ValueError(f"{name!r} already carries an inserted pair")
+            # The candidate's new external load: it drives only the
+            # first inverter (one sink of ``pair_cin``), and its
+            # primary-output role, if any, moved behind the pair.
+            load_g = gate_external_load(
+                ("__bufa__",),
+                {"__bufa__": pair_cin},
+                False,
+                self.compiled.output_load_ff,
+                self.compiled.wire_model,
+            )
+            # The second inverter inherits the candidate's original
+            # sinks, sizes and output role: its external load is the
+            # candidate's bound base load, float for float.
+            load_b = float(comp.load[gid])
+            over_cin = np.array([self._sizes[name]])
+            over_load = np.array([load_g])
+            columns.append(
+                self._make_column(("b", gid), [gid], over_cin, over_load, load_b)
+            )
+        return self._run(columns, pair_cin=pair_cin)
+
+    # -- internals -----------------------------------------------------
+
+    def _external_load(self, name: str) -> float:
+        """Scalar external load of ``name`` under ``self._sizes``."""
+        return gate_external_load(
+            self._fanout_names.get(name, ()),
+            self._sizes,
+            name in self._output_set,
+            self.compiled.output_load_ff,
+            self.compiled.wire_model,
+        )
+
+    def _make_column(
+        self,
+        cone_key: Tuple[str, int],
+        over_ids: List[int],
+        over_cin: np.ndarray,
+        over_load: np.ndarray,
+        pair_load_b: Optional[float],
+    ) -> _Column:
+        """Assemble one column: overrides first, then the cone remainder."""
+        if self.mode == "dense":
+            base_cone: np.ndarray = self._all_gates
+        else:
+            base_cone = self._cone(cone_key[0], cone_key[1], over_ids)
+        over_arr = np.asarray(over_ids, dtype=np.intp)
+        rest = np.setdiff1d(base_cone, over_arr, assume_unique=False)
+        cone = np.concatenate([over_arr, rest])
+        return _Column(cone, len(over_ids), over_cin, over_load, pair_load_b)
+
+    def _override_params(
+        self, gids: np.ndarray, cin: np.ndarray, load: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Eq. 1-3 per-gate terms for overridden (size, load) pairs.
+
+        Operation order matches :meth:`CompiledCircuit.bind` plus the
+        mc kernel's per-level arithmetic exactly, which is what keeps an
+        overridden gate's recomputed cell bit-identical to the scalar
+        engine's ``propagate_gate`` on the edited circuit.
+        """
+        comp = self.compiled
+        k = comp.k_ratio[gids]
+        inv = comp.inverting[gids]
+        cl = comp.p_intrinsic[gids] * cin + load
+        tout_rise = self._s_lh[gids] * self._tau * cl / cin
+        tout_fall = comp.s_hl[gids] * self._tau * cl / cin
+        cm_rise = 0.5 * cin * k / (1.0 + k)
+        cm_fall = 0.5 * cin / (1.0 + k)
+        half_rise = 0.5 * (1.0 + 2.0 * cm_rise / (cm_rise + cl))
+        half_fall = 0.5 * (1.0 + 2.0 * cm_fall / (cm_fall + cl))
+        b_rise = half_rise * np.where(inv, tout_fall, tout_rise)
+        b_fall = half_fall * np.where(inv, tout_rise, tout_fall)
+        return tout_rise, tout_fall, b_rise, b_fall
+
+    def _run(
+        self, columns: List[_Column], pair_cin: Optional[float]
+    ) -> np.ndarray:
+        """Evaluate the columns chunk by chunk; per-column critical delay."""
+        out = np.empty(len(columns))
+        chunk = self.chunk_columns
+        for start in range(0, len(columns), chunk):
+            part = columns[start : start + chunk]
+            out[start : start + len(part)] = self._run_chunk(part, pair_cin)
+        return out
+
+    def _run_chunk(
+        self, columns: List[_Column], pair_cin: Optional[float]
+    ) -> np.ndarray:
+        """One dense backing allocation; active-pair level propagation."""
+        comp = self.compiled
+        n_cols = len(columns)
+        n_in = comp.n_inputs
+
+        # Flat (gate, column) pair schedule with per-pair parameters,
+        # base-initialised then overridden for the edited gates.
+        pair_g = np.concatenate([c.cone for c in columns])
+        pair_c = np.concatenate(
+            [np.full(len(c.cone), j, dtype=np.intp) for j, c in enumerate(columns)]
+        )
+        to_r = self._tout_rise[pair_g].copy()
+        to_f = self._tout_fall[pair_g].copy()
+        b_r = self._b_rise[pair_g].copy()
+        b_f = self._b_fall[pair_g].copy()
+        is_root = np.zeros(len(pair_g), dtype=bool)
+        load_b_pair = np.zeros(len(pair_g))
+
+        offsets = np.cumsum([0] + [len(c.cone) for c in columns[:-1]])
+        over_pos = np.concatenate(
+            [off + np.arange(c.n_over) for off, c in zip(offsets, columns)]
+        )
+        over_g = pair_g[over_pos]
+        over_cin = np.concatenate([c.over_cin for c in columns])
+        over_load = np.concatenate([c.over_load for c in columns])
+        o_tr, o_tf, o_br, o_bf = self._override_params(over_g, over_cin, over_load)
+        to_r[over_pos] = o_tr
+        to_f[over_pos] = o_tf
+        b_r[over_pos] = o_br
+        b_f[over_pos] = o_bf
+        for off, c in zip(offsets, columns):
+            if c.pair_load_b is not None:
+                is_root[off] = True
+                load_b_pair[off] = c.pair_load_b
+
+        order = np.argsort(self._level_of[pair_g], kind="stable")
+        pair_g = pair_g[order]
+        pair_c = pair_c[order]
+        to_r = to_r[order]
+        to_f = to_f[order]
+        b_r = b_r[order]
+        b_f = b_f[order]
+        is_root = is_root[order]
+        load_b_pair = load_b_pair[order]
+        lv_sorted = self._level_of[pair_g]
+        _, group_starts = np.unique(lv_sorted, return_index=True)
+        group_ends = np.append(group_starts[1:], len(pair_g))
+
+        # Dense per-chunk backing: every untouched cell serves the base.
+        time_rise = np.repeat(self._base_time_rise[:, None], n_cols, axis=1)
+        time_fall = np.repeat(self._base_time_fall[:, None], n_cols, axis=1)
+        tran_rise = np.repeat(self._base_tran_rise[:, None], n_cols, axis=1)
+        tran_fall = np.repeat(self._base_tran_fall[:, None], n_cols, axis=1)
+
+        if pair_cin is not None:
+            pair_consts = self._pair_constants(pair_cin)
+        hv_rise = self._hv_rise
+        hv_fall = self._hv_fall
+        neg_inf = -np.inf
+
+        for gs, ge in zip(group_starts, group_ends):
+            g = pair_g[gs:ge]
+            c = pair_c[gs:ge]
+            rows = comp.fanin_rows[g]
+            mask = comp.fanin_mask[g]
+            cc = c[:, None]
+
+            delay = hv_rise * tran_rise[rows, cc] + b_r[gs:ge, None]
+            cand = time_rise[rows, cc] + delay
+            m_rise = np.max(np.where(mask, cand, neg_inf), axis=1)
+
+            delay = hv_fall * tran_fall[rows, cc] + b_f[gs:ge, None]
+            cand = time_fall[rows, cc] + delay
+            m_fall = np.max(np.where(mask, cand, neg_inf), axis=1)
+
+            inv = comp.inverting[g]
+            t_rise = np.where(inv, m_fall, m_rise)
+            t_fall = np.where(inv, m_rise, m_fall)
+            tr_rise = to_r[gs:ge].copy()
+            tr_fall = to_f[gs:ge].copy()
+
+            roots = is_root[gs:ge]
+            if roots.any():
+                bi = np.nonzero(roots)[0]
+                t_rise[bi], t_fall[bi], tr_rise[bi], tr_fall[bi] = (
+                    self._through_pair(
+                        pair_consts,
+                        t_rise[bi],
+                        t_fall[bi],
+                        tr_rise[bi],
+                        tr_fall[bi],
+                        load_b_pair[gs:ge][bi],
+                    )
+                )
+
+            out_rows = n_in + g
+            time_rise[out_rows, c] = t_rise
+            time_fall[out_rows, c] = t_fall
+            tran_rise[out_rows, c] = tr_rise
+            tran_fall[out_rows, c] = tr_fall
+
+        rows = comp.output_rows
+        return np.max(
+            np.maximum(time_rise[rows], time_fall[rows]), axis=0
+        )
+
+    def _pair_constants(self, pair_cin: float) -> Tuple[float, ...]:
+        """Scalar eq. 1-3 terms of the trial pair's first inverter.
+
+        The first inverter's load (the second inverter plus wire) is the
+        same in every column, so its transitions and eq. 1 ``b`` terms
+        are plain scalars, computed by the scalar model's own helpers.
+        """
+        cell = self.library.cell(GateKind.INV)
+        tech = self.library.tech
+        load_a = gate_external_load(
+            ("__bufb__",),
+            {"__bufb__": pair_cin},
+            False,
+            self.compiled.output_load_ff,
+            self.compiled.wire_model,
+        )
+        cl_a = cell.parasitic_cap(pair_cin) + load_a
+        tout_a_rise = cell.s_lh(tech) * tech.tau_ps * cl_a / pair_cin
+        tout_a_fall = cell.s_hl(tech) * tech.tau_ps * cl_a / pair_cin
+        cm_rise = cell.coupling_cap(pair_cin, input_rising=True)
+        cm_fall = cell.coupling_cap(pair_cin, input_rising=False)
+        # (0.5 * coupling_factor) * tout, the scalar gate_delay grouping.
+        b_a_rise = 0.5 * coupling_factor(cm_rise, cl_a) * tout_a_fall
+        b_a_fall = 0.5 * coupling_factor(cm_fall, cl_a) * tout_a_rise
+        return (
+            pair_cin,
+            cell.p_intrinsic,
+            cell.s_lh(tech),
+            cell.s_hl(tech),
+            cm_rise,
+            cm_fall,
+            tout_a_rise,
+            tout_a_fall,
+            b_a_rise,
+            b_a_fall,
+        )
+
+    def _through_pair(
+        self,
+        consts: Tuple[float, ...],
+        t_rise_g: np.ndarray,
+        t_fall_g: np.ndarray,
+        tr_rise_g: np.ndarray,
+        tr_fall_g: np.ndarray,
+        load_b: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Chain a candidate's updated output through both trial inverters.
+
+        Each inverter has a single fan-in, so the scalar engine's
+        per-edge reduction degenerates to the lone candidate -- two
+        eq. 1 evaluations per polarity, in the scalar operation order.
+        Returns the second inverter's (rise, fall) arrivals and
+        transitions, which the caller scatters onto the candidate's net
+        row: every downstream reader then sees exactly the rewired
+        netlist's values.
+        """
+        (
+            pair_cin,
+            p_intrinsic,
+            s_lh,
+            s_hl,
+            cm_rise,
+            cm_fall,
+            tout_a_rise,
+            tout_a_fall,
+            b_a_rise,
+            b_a_fall,
+        ) = consts
+        tau = self._tau
+        hv_rise = self._hv_rise
+        hv_fall = self._hv_fall
+        # First inverter: rising input -> falling output and vice versa.
+        t_fall_a = t_rise_g + (hv_rise * tr_rise_g + b_a_rise)
+        t_rise_a = t_fall_g + (hv_fall * tr_fall_g + b_a_fall)
+        # Second inverter: per-column load (the candidate's old sinks).
+        cl_b = p_intrinsic * pair_cin + load_b
+        tout_b_rise = s_lh * tau * cl_b / pair_cin
+        tout_b_fall = s_hl * tau * cl_b / pair_cin
+        half_b_rise = 0.5 * (1.0 + 2.0 * cm_rise / (cm_rise + cl_b))
+        half_b_fall = 0.5 * (1.0 + 2.0 * cm_fall / (cm_fall + cl_b))
+        t_fall_b = t_rise_a + (hv_rise * tout_a_rise + half_b_rise * tout_b_fall)
+        t_rise_b = t_fall_a + (hv_fall * tout_a_fall + half_b_fall * tout_b_rise)
+        return t_rise_b, t_fall_b, tout_b_rise, tout_b_fall

@@ -1,0 +1,390 @@
+"""Cone-sparse batch probes: bit-identity oracles and dispatch behaviour.
+
+The contract under test (see ``repro/timing/batch_probe.py``): a batch
+of single-gate candidate edits -- sizing probes, trial buffer pairs --
+evaluated as columns of one compiled-circuit propagation must reproduce
+the scalar :class:`~repro.timing.incremental.IncrementalSta` probe loop
+*bit for bit* on every CORE circuit, under randomized sizings and after
+randomized edit sequences; and the public entry points must switch
+between the scalar and batch paths exactly at the documented
+column-count threshold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.api.serialization import circuit_result_from_dict, circuit_result_to_dict
+from repro.buffering.netlist_insertion import (
+    insert_buffer_pair,
+    reduce_delay_with_buffers,
+    trial_buffer_pairs,
+)
+from repro.iscas.loader import load_benchmark
+from repro.protocol.optimizer import optimize_circuit
+from repro.sizing.sensitivity import circuit_gate_sensitivities
+from repro.timing import batch_probe
+from repro.timing.batch_probe import (
+    BATCH_PROBE_MIN_COLUMNS,
+    BatchProbeEngine,
+    should_batch,
+)
+from repro.timing.incremental import IncrementalSta
+from repro.timing.sta import analyze
+
+#: The paper's benchmark set (mirrors ``benchmarks/conftest.py``).
+CORE_CIRCUITS = (
+    "adder16",
+    "c432",
+    "c499",
+    "c880",
+    "c1355",
+    "c1908",
+    "c3540",
+    "c5315",
+    "c7552",
+)
+
+#: Circuits small enough for exhaustive all-gate probe comparisons.
+FULL_CIRCUITS = ("fpd", "c432")
+
+
+def _randomly_sized(name: str, lib, seed: int = 11):
+    circuit = load_benchmark(name)
+    rng = np.random.default_rng(seed)
+    for gate in circuit.gates.values():
+        base = lib.cell(gate.kind).cin_min(lib.tech)
+        gate.cin_ff = base * float(rng.uniform(1.0, 6.0))
+    return circuit
+
+
+def _sample_gates(circuit, n, seed=23):
+    names = list(circuit.gates)
+    if len(names) <= n:
+        return names
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(names), size=n, replace=False)
+    return [names[i] for i in sorted(picks)]
+
+
+def _scalar_sizing_delays(circuit, engine, probes):
+    out = []
+    for name, cin in probes:
+        gate = circuit.gate(name)
+        original = gate.cin_ff
+        gate.cin_ff = cin
+        out.append(engine.update((name,)).critical_delay_ps)
+        gate.cin_ff = original
+        engine.update((name,))
+    return np.array(out)
+
+
+def _central_probes(circuit, names, rel_step=1e-3):
+    probes = []
+    for name in names:
+        base = circuit.gate(name).cin_ff
+        h = max(abs(base) * rel_step, 1e-9)
+        probes.append((name, base + h))
+        probes.append((name, base - h))
+    return probes
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", CORE_CIRCUITS)
+    def test_sizing_probes_match_incremental_sta(self, name, lib):
+        circuit = _randomly_sized(name, lib)
+        engine = IncrementalSta(circuit, lib)
+        pe = BatchProbeEngine(circuit, lib)
+        assert pe.critical_delay_base_ps == engine.critical_delay_ps
+        probes = _central_probes(circuit, _sample_gates(circuit, 24))
+        batch = pe.sizing_delays(probes)
+        scalar = _scalar_sizing_delays(circuit, engine, probes)
+        assert np.array_equal(batch, scalar)
+
+    @pytest.mark.parametrize("name", CORE_CIRCUITS)
+    def test_buffer_probes_match_incremental_sta(self, name, lib):
+        circuit = _randomly_sized(name, lib, seed=17)
+        engine = IncrementalSta(circuit, lib)
+        pe = BatchProbeEngine(circuit, lib)
+        candidates = _sample_gates(circuit, 20, seed=29)
+        batch = pe.buffer_pair_delays(candidates)
+        scalar = trial_buffer_pairs(
+            circuit, lib, candidates, engine=engine, min_batch_columns=10**9
+        )
+        assert np.array_equal(batch, np.array([scalar[c] for c in candidates]))
+
+    @pytest.mark.parametrize("name", FULL_CIRCUITS)
+    def test_every_gate_both_probe_kinds(self, name, lib):
+        circuit = _randomly_sized(name, lib, seed=3)
+        engine = IncrementalSta(circuit, lib)
+        pe = BatchProbeEngine(circuit, lib)
+        names = list(circuit.gates)
+        probes = _central_probes(circuit, names)
+        assert np.array_equal(
+            pe.sizing_delays(probes), _scalar_sizing_delays(circuit, engine, probes)
+        )
+        scalar = trial_buffer_pairs(
+            circuit, lib, names, engine=engine, min_batch_columns=10**9
+        )
+        assert np.array_equal(
+            pe.buffer_pair_delays(names), np.array([scalar[c] for c in names])
+        )
+
+    @pytest.mark.parametrize("name", ("fpd", "c432", "c880"))
+    def test_after_randomized_edit_sequence(self, name, lib):
+        # Probes must stay exact when the engine is re-bound mid-flight:
+        # random size edits land on the circuit, then both paths probe.
+        circuit = _randomly_sized(name, lib, seed=5)
+        engine = IncrementalSta(circuit, lib)
+        pe = BatchProbeEngine(circuit, lib)
+        rng = np.random.default_rng(41)
+        names = list(circuit.gates)
+        for _ in range(4):
+            edited = rng.choice(len(names), size=min(10, len(names)), replace=False)
+            for i in edited:
+                gate = circuit.gate(names[i])
+                gate.cin_ff = gate.cin_ff * float(rng.uniform(0.5, 2.0))
+            engine.update(tuple(names[i] for i in edited))
+            pe.bind(circuit)
+            assert pe.critical_delay_base_ps == engine.critical_delay_ps
+            probes = _central_probes(
+                circuit, _sample_gates(circuit, 12, seed=int(rng.integers(1 << 30)))
+            )
+            assert np.array_equal(
+                pe.sizing_delays(probes),
+                _scalar_sizing_delays(circuit, engine, probes),
+            )
+
+    def test_dense_mode_matches_sparse(self, lib):
+        circuit = _randomly_sized("c880", lib, seed=19)
+        sparse = BatchProbeEngine(circuit, lib)
+        dense = BatchProbeEngine(circuit, lib, mode="dense")
+        probes = _central_probes(circuit, _sample_gates(circuit, 16))
+        assert np.array_equal(sparse.sizing_delays(probes), dense.sizing_delays(probes))
+        cands = _sample_gates(circuit, 12, seed=31)
+        assert np.array_equal(
+            sparse.buffer_pair_delays(cands), dense.buffer_pair_delays(cands)
+        )
+
+    def test_chunking_is_invisible(self, lib):
+        circuit = _randomly_sized("c432", lib)
+        whole = BatchProbeEngine(circuit, lib)
+        tiny = BatchProbeEngine(circuit, lib, chunk_columns=7)
+        probes = _central_probes(circuit, list(circuit.gates))
+        assert np.array_equal(whole.sizing_delays(probes), tiny.sizing_delays(probes))
+
+    def test_custom_boundary_conditions(self, lib):
+        circuit = _randomly_sized("fpd", lib)
+        kwargs = dict(input_transition_ps=12.0, output_load_ff=9.5)
+        engine = IncrementalSta(circuit, lib, **kwargs)
+        pe = BatchProbeEngine(circuit, lib, **kwargs)
+        assert pe.critical_delay_base_ps == engine.critical_delay_ps
+        probes = _central_probes(circuit, list(circuit.gates))
+        assert np.array_equal(
+            pe.sizing_delays(probes), _scalar_sizing_delays(circuit, engine, probes)
+        )
+
+
+class TestDispatch:
+    def test_should_batch_threshold(self):
+        assert BATCH_PROBE_MIN_COLUMNS == 128
+        assert not should_batch(127)
+        assert should_batch(128)
+        assert should_batch(129)
+        assert should_batch(1, min_columns=1)
+        assert not should_batch(10**6, min_columns=10**9)
+
+    def test_sensitivities_batch_equals_scalar(self, lib):
+        circuit = _randomly_sized("c880", lib, seed=7)
+        names = _sample_gates(circuit, 30)
+        scalar = circuit_gate_sensitivities(
+            circuit, lib, gates=names, min_batch_columns=10**9
+        )
+        batch = circuit_gate_sensitivities(circuit, lib, gates=names, min_batch_columns=0)
+        assert scalar.keys() == batch.keys()
+        for key in scalar:
+            assert scalar[key] == batch[key], key
+
+    def test_sensitivities_with_engine_and_probe_engine(self, lib):
+        circuit = _randomly_sized("fpd", lib)
+        engine = IncrementalSta(circuit, lib, output_load_ff=7.0)
+        pe = BatchProbeEngine(circuit, lib, output_load_ff=7.0)
+        scalar = circuit_gate_sensitivities(
+            circuit, lib, engine=engine, min_batch_columns=10**9
+        )
+        batch = circuit_gate_sensitivities(
+            circuit, lib, engine=engine, min_batch_columns=0, probe_engine=pe
+        )
+        assert scalar == batch
+
+    def test_trial_buffer_pairs_batch_never_mutates(self, lib):
+        circuit = _randomly_sized("c432", lib)
+        before_key = circuit.state_key()
+        cands = list(circuit.gates)[:30]
+        scalar = trial_buffer_pairs(circuit, lib, cands, min_batch_columns=10**9)
+        batch = trial_buffer_pairs(circuit, lib, cands, min_batch_columns=0)
+        assert scalar == batch
+        assert circuit.state_key() == before_key
+
+    @pytest.mark.parametrize("n_cands,expect_batch", [(127, False), (128, True), (129, True)])
+    def test_buffer_threshold_boundary(self, n_cands, expect_batch, lib, monkeypatch):
+        # The documented boundary, at exactly 127/128/129 columns: each
+        # buffer candidate is one column.
+        circuit = _randomly_sized("c432", lib)
+        cands = list(circuit.gates)[:n_cands]
+        assert len(cands) == n_cands
+        built = []
+        real = batch_probe.BatchProbeEngine
+
+        class Recorder(real):
+            def __init__(self, *args, **kwargs):
+                built.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(batch_probe, "BatchProbeEngine", Recorder)
+        scalar = trial_buffer_pairs(circuit, lib, cands, min_batch_columns=10**9)
+        assert not built
+        result = trial_buffer_pairs(circuit, lib, cands)
+        assert bool(built) is expect_batch
+        assert result == scalar
+
+    @pytest.mark.parametrize("n_gates,expect_batch", [(63, False), (64, True)])
+    def test_sizing_threshold_boundary(self, n_gates, expect_batch, lib, monkeypatch):
+        # Each probed gate contributes two columns (up/down), so the
+        # 128-column boundary falls between 63 and 64 gates.
+        circuit = _randomly_sized("c432", lib)
+        names = list(circuit.gates)[:n_gates]
+        built = []
+        real = batch_probe.BatchProbeEngine
+
+        class Recorder(real):
+            def __init__(self, *args, **kwargs):
+                built.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(batch_probe, "BatchProbeEngine", Recorder)
+        scalar = circuit_gate_sensitivities(
+            circuit, lib, gates=names, min_batch_columns=10**9
+        )
+        assert not built
+        result = circuit_gate_sensitivities(circuit, lib, gates=names)
+        assert bool(built) is expect_batch
+        assert result == scalar
+
+    def test_reduce_delay_with_buffers_batch_equals_scalar(self, lib):
+        scalar_c = load_benchmark("c880")
+        batch_c = load_benchmark("c880")
+        _, ins_s, delay_s = reduce_delay_with_buffers(
+            scalar_c, lib, max_insertions=2, min_batch_columns=10**9
+        )
+        _, ins_b, delay_b = reduce_delay_with_buffers(
+            batch_c, lib, max_insertions=2, min_batch_columns=0
+        )
+        assert ins_s == ins_b
+        assert delay_s == delay_b
+
+
+class TestValidation:
+    def test_rejects_bad_mode_and_chunk(self, lib):
+        circuit = load_benchmark("fpd")
+        with pytest.raises(ValueError):
+            BatchProbeEngine(circuit, lib, mode="banana")
+        with pytest.raises(ValueError):
+            BatchProbeEngine(circuit, lib, chunk_columns=0)
+
+    def test_rejects_nonpositive_cin(self, lib):
+        pe = BatchProbeEngine(load_benchmark("fpd"), lib)
+        with pytest.raises(ValueError):
+            pe.sizing_delays([("sp1", 0.0)])
+        with pytest.raises(ValueError):
+            pe.buffer_pair_delays(["sp1"], cin_ff=-1.0)
+
+    def test_rejects_unknown_gate(self, lib):
+        pe = BatchProbeEngine(load_benchmark("fpd"), lib)
+        with pytest.raises(KeyError):
+            pe.sizing_delays([("nonexistent", 1.0)])
+
+    def test_rejects_already_paired_candidate(self, lib):
+        circuit = load_benchmark("fpd")
+        name = next(iter(circuit.gates))
+        insert_buffer_pair(circuit, name, lib)
+        pe = BatchProbeEngine(circuit, lib)
+        with pytest.raises(ValueError, match="already carries"):
+            pe.buffer_pair_delays([name])
+
+    def test_bind_rejects_other_structure(self, lib):
+        pe = BatchProbeEngine(load_benchmark("fpd"), lib)
+        with pytest.raises(ValueError):
+            pe.bind(load_benchmark("c432"))
+
+
+class TestSessionProbeCache:
+    def test_engine_shared_per_structure(self, lib):
+        session = Session()
+        circuit = session.benchmark("fpd")
+        first = session.probe_engine(circuit)
+        assert session.stats.probe_misses == 1
+        # A pure re-sizing re-binds the same engine (structure key hit).
+        for gate in circuit.gates.values():
+            gate.cin_ff = (gate.cin_ff or lib.cref) * 1.5
+        again = session.probe_engine(circuit)
+        assert again is first
+        assert session.stats.probe_hits == 1
+        oracle = IncrementalSta(circuit.copy(), session.library)
+        assert again.critical_delay_base_ps == oracle.critical_delay_ps
+
+    def test_structural_edit_builds_fresh_engine(self):
+        session = Session()
+        circuit = session.benchmark("fpd")
+        first = session.probe_engine(circuit)
+        insert_buffer_pair(circuit, next(iter(circuit.gates)), session.library)
+        second = session.probe_engine(circuit)
+        assert second is not first
+        assert session.stats.probe_misses == 2
+
+    def test_clear_and_stats_cover_probes(self):
+        session = Session()
+        circuit = session.benchmark("fpd")
+        session.probe_engine(circuit)
+        stats = session.cache_stats()
+        assert stats["caches"]["probes"]["size"] == 1
+        session.clear_caches()
+        assert session.cache_stats()["caches"]["probes"]["size"] == 0
+
+
+class TestOptimizerIntegration:
+    def test_final_delay_matches_full_sta(self, lib):
+        # The consolidated per-pass engine updates must leave the final
+        # annotation bit-identical to a from-scratch analysis.
+        result = optimize_circuit(
+            load_benchmark("c432"), lib, tc_ps=3000.0, max_passes=3
+        )
+        oracle = analyze(result.circuit, lib)
+        assert result.critical_delay_ps == oracle.critical_delay_ps
+
+    def test_rescue_buffers_defaults_off(self, lib):
+        plain = optimize_circuit(load_benchmark("fpd"), lib, tc_ps=500.0, max_passes=2)
+        assert plain.rescued_gates == ()
+
+    def test_rescue_buffers_only_improves(self, lib):
+        plain = optimize_circuit(load_benchmark("fpd"), lib, tc_ps=500.0, max_passes=2)
+        rescued = optimize_circuit(
+            load_benchmark("fpd"), lib, tc_ps=500.0, max_passes=2, rescue_buffers=True
+        )
+        assert rescued.critical_delay_ps <= plain.critical_delay_ps
+        if rescued.rescued_gates:
+            for name in rescued.rescued_gates:
+                assert f"{name}_bufa" in rescued.circuit.gates
+        oracle = analyze(rescued.circuit, lib)
+        assert rescued.critical_delay_ps == oracle.critical_delay_ps
+
+    def test_rescued_gates_round_trip(self, lib):
+        result = optimize_circuit(
+            load_benchmark("fpd"), lib, tc_ps=500.0, max_passes=2, rescue_buffers=True
+        )
+        data = circuit_result_to_dict(result)
+        back = circuit_result_from_dict(data, lib)
+        assert back.rescued_gates == result.rescued_gates
+        # Old payloads without the field deserialize to the default.
+        data.pop("rescued_gates")
+        assert circuit_result_from_dict(data, lib).rescued_gates == ()

@@ -1,0 +1,82 @@
+"""Docs stay navigable: internal links and anchors must resolve.
+
+Runs scripts/check_docs.py (also a CI step) against README.md and
+docs/ARCHITECTURE.md, plus unit checks on the slug/link logic itself.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_docs", check_docs)
+_spec.loader.exec_module(check_docs)
+
+
+class TestSlugging:
+    def test_plain_heading(self):
+        assert check_docs.github_slug("Subsystem map") == "subsystem-map"
+
+    def test_punctuation_and_code(self):
+        slug = check_docs.github_slug(
+            "Cache keying: `structure_key` and `state_key`"
+        )
+        assert slug == "cache-keying-structure_key-and-state_key"
+
+    def test_duplicate_headings_get_suffixes(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("# Same\n\n# Same\n", encoding="utf-8")
+        assert check_docs.heading_slugs(doc) == {"same", "same-1"}
+
+    def test_fenced_blocks_ignored(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("```\n# not a heading\n```\n# Real\n", encoding="utf-8")
+        assert check_docs.heading_slugs(doc) == {"real"}
+
+
+class TestChecker:
+    def test_detects_broken_file_link(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("[x](missing.md)\n", encoding="utf-8")
+        problems = check_docs.check_file(doc)
+        assert len(problems) == 1 and "missing.md" in problems[0]
+
+    def test_detects_broken_anchor(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("# Top\n\n[x](#nope)\n", encoding="utf-8")
+        problems = check_docs.check_file(doc)
+        assert len(problems) == 1 and "#nope" in problems[0]
+
+    def test_accepts_valid_relative_and_anchor(self, tmp_path):
+        other = tmp_path / "other.md"
+        other.write_text("# Target Section\n", encoding="utf-8")
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "[a](other.md)\n[b](other.md#target-section)\n[c](#top)\n\n# Top\n",
+            encoding="utf-8",
+        )
+        assert check_docs.check_file(doc) == []
+
+    def test_external_links_skipped(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("[x](https://example.com/nope)\n", encoding="utf-8")
+        assert check_docs.check_file(doc) == []
+
+
+class TestRepoDocs:
+    def test_checked_files_exist(self):
+        for name in check_docs.CHECKED_FILES:
+            assert (REPO_ROOT / name).exists(), name
+
+    def test_repo_docs_are_clean(self, capsys):
+        assert check_docs.main(["check_docs"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_readme_links_architecture(self):
+        text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "docs/ARCHITECTURE.md" in text
