@@ -1,0 +1,87 @@
+"""NLDM backend: vectorized table interpolation vs the scalar lookup loop.
+
+The table backend's batch surfaces evaluate whole probe batches as
+columns of one stacked bilinear interpolation
+(``repro.liberty.tables.interp_table_stack``) instead of one
+``searchsorted`` + lookup per gate per column.  This bench drives the
+cone-sparse probe engine under the committed sample ``.lib`` on c7552,
+asserts bit-identity with the scalar ``IncrementalSta`` loop (the
+backend contract), gates the ISSUE's >= 5x bar for the vectorized path,
+and provides the ``test_kernel_nldm_batch`` CI perf kernel tracked in
+``BENCH_BASELINE.json``.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.iscas.loader import load_benchmark
+from repro.liberty import library_from_lib
+from repro.protocol.report import format_table
+from repro.timing.batch_probe import BatchProbeEngine
+from repro.timing.incremental import IncrementalSta
+
+from conftest import emit
+from test_perf_batch_probe import _probe_set, _scalar_probe_loop
+
+SAMPLE_LIB = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "sample_nldm.lib"
+)
+
+
+@pytest.fixture(scope="session")
+def nldm_lib():
+    return library_from_lib(SAMPLE_LIB)
+
+
+def test_nldm_batch_speedup(nldm_lib):
+    """512 probe columns on c7552: batched interpolation vs per-gate lookups."""
+    circuit = load_benchmark("c7552")
+    probes = _probe_set(circuit, nldm_lib, n_gates=256)
+    assert len(probes) == 512
+
+    engine = IncrementalSta(circuit, nldm_lib)
+    start = time.perf_counter()
+    scalar = _scalar_probe_loop(circuit, engine, probes)
+    t_scalar = time.perf_counter() - start
+
+    pe = BatchProbeEngine(circuit, nldm_lib)
+    start = time.perf_counter()
+    batch = pe.sizing_delays(probes)
+    t_batch = time.perf_counter() - start
+
+    # Backend contract: the batch surface is bit-identical to the scalar.
+    assert np.array_equal(batch, scalar)
+
+    speedup = t_scalar / t_batch if t_batch > 0 else float("inf")
+    body = format_table(
+        ("circuit", "columns", "scalar (ms)", "batch (ms)", "speedup"),
+        [
+            (
+                "c7552",
+                len(probes),
+                f"{1000.0 * t_scalar:.1f}",
+                f"{1000.0 * t_batch:.1f}",
+                f"{speedup:.1f}x",
+            )
+        ],
+    )
+    emit("NLDM probes -- scalar table lookups vs vectorized batch", body)
+    # The ISSUE's acceptance bar: >= 5x over the per-gate scalar lookup loop.
+    assert speedup >= 5.0
+
+
+# -- tier-1 kernel for the CI perf gate --------------------------------
+
+
+def test_kernel_nldm_batch(benchmark, nldm_lib):
+    """One 512-column NLDM interpolation batch on c7552 (warm engine)."""
+    circuit = load_benchmark("c7552")
+    engine = BatchProbeEngine(circuit, nldm_lib)
+    probes = _probe_set(circuit, nldm_lib, n_gates=256)
+    assert len(probes) == 512
+
+    delays = benchmark(engine.sizing_delays, probes)
+    assert np.all(delays > 0)

@@ -22,6 +22,9 @@ SCOPES = ("path", "circuit")
 #: Sizing weight modes understood by the constraint distributor.
 WEIGHT_MODES = ("uniform", "area")
 
+#: Delay-model backends a job may pin (see :mod:`repro.timing.backend`).
+BACKENDS = ("analytic", "nldm")
+
 
 class JobError(ValueError):
     """An invalid :class:`Job` specification."""
@@ -61,6 +64,16 @@ class Job:
         Monte-Carlo corner-analysis parameters (``Session.mc``): number
         of sampled process corners and the rng seed.  The optional
         ``tc_ps`` / ``tc_ratio`` constraint doubles as the yield target.
+    backend / liberty:
+        Delay-model identity: which backend the run must use
+        (:data:`BACKENDS`; ``None`` means "whatever the session runs")
+        and, for ``"nldm"``, the ``.lib`` file the tables came from.
+        The session validates these against its own backend and stamps
+        them into the job echo of every non-analytic record, so a
+        serialized :class:`~repro.api.records.RunRecord` names the model
+        that produced it.  Serialization is backward compatible: unset
+        fields are omitted from :meth:`to_dict`, so analytic-default
+        jobs keep their historical byte form.
     label:
         Free-form tag echoed into the run record (campaign bookkeeping).
     """
@@ -82,6 +95,8 @@ class Job:
     activity_vectors: int = 128
     mc_samples: int = 1000
     mc_seed: int = 42
+    backend: Optional[str] = None
+    liberty: Optional[str] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -119,6 +134,14 @@ class Job:
             raise JobError(f"mc_samples must be >= 2, got {self.mc_samples}")
         if not isinstance(self.mc_seed, int) or isinstance(self.mc_seed, bool):
             raise JobError(f"mc_seed must be an integer, got {self.mc_seed!r}")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise JobError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.liberty is not None and not isinstance(self.liberty, str):
+            raise JobError(f"liberty must be a path string, got {self.liberty!r}")
+        if self.liberty is not None and self.backend != "nldm":
+            raise JobError("liberty applies only to backend='nldm' jobs")
 
     # -- derived -------------------------------------------------------
 
@@ -153,6 +176,11 @@ class Job:
         data = {f.name: getattr(self, f.name) for f in fields(self)}
         if self.circuit is not None:
             data["circuit"] = circuit_to_dict(self.circuit)
+        # Backend identity is emitted only when pinned: analytic-default
+        # jobs keep the historical byte form (store keys, goldens).
+        for name in ("backend", "liberty"):
+            if data[name] is None:
+                del data[name]
         return data
 
     @classmethod

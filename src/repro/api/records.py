@@ -150,9 +150,22 @@ class RunRecord:
     ) -> "RunRecord":
         """Rebuild a record; paths/results re-bind to ``library``.
 
-        The library must characterise the same cells the run used (the
-        deterministic default library when omitted).
+        The library must characterise the same cells the run used.  When
+        omitted, the job echo's backend spec decides: an ``"nldm"`` job
+        whose ``liberty`` file is still readable rebuilds the NLDM
+        library from it, everything else gets the deterministic default
+        analytic library.
         """
+        if library is None:
+            job_data = data.get("job") or {}
+            liberty = job_data.get("liberty")
+            if job_data.get("backend") == "nldm" and liberty is not None:
+                try:
+                    from repro.liberty import library_from_lib
+
+                    library = library_from_lib(liberty)
+                except (OSError, ValueError):
+                    library = None  # fall through to the analytic default
         if library is None:
             library = default_library()
         kind = data.get("kind")

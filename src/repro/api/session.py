@@ -25,11 +25,12 @@ guaranteed to produce payloads byte-identical to the serial loop.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.activity import estimate_activity
@@ -123,6 +124,14 @@ class Session:
         ``tech``.
     tech:
         Technology to build the default library for (0.25 um if omitted).
+    backend:
+        Delay-model backend name (``"analytic"`` or ``"nldm"``); mutually
+        exclusive with ``library``.  ``"nldm"`` requires ``liberty`` and
+        builds the session library from the ``.lib`` tables
+        (:func:`repro.liberty.library_from_lib`).  Omitted, the session
+        runs whatever backend its library carries (analytic by default).
+    liberty:
+        Path to the ``.lib`` file for ``backend="nldm"``.
     bench_dir:
         Default directory of real ``.bench`` netlists for benchmark jobs
         that do not set their own.
@@ -146,13 +155,37 @@ class Session:
         tech: Optional[Technology] = None,
         bench_dir: Optional[str] = None,
         cache_limit: Optional[int] = None,
+        backend: Optional[str] = None,
+        liberty: Optional[str] = None,
     ) -> None:
         if library is not None and tech is not None:
             raise ValueError("give at most one of 'library' and 'tech'")
+        if backend is not None and library is not None:
+            raise ValueError("give at most one of 'library' and 'backend'")
+        if backend not in (None, "analytic", "nldm"):
+            raise JobError(f"unknown backend {backend!r}")
+        if backend == "nldm":
+            if liberty is None:
+                raise JobError("backend='nldm' requires a liberty .lib path")
+            from repro.liberty import library_from_lib
+
+            library = library_from_lib(liberty, tech=tech)
+        elif liberty is not None:
+            raise JobError("liberty applies only to backend='nldm' sessions")
         self._library = library if library is not None else default_library(tech)
+        #: Backend identity stamped into job echoes and cache keys.
+        self.backend_name: str = self._library.delay_backend.capabilities.name
+        self.liberty_path: Optional[str] = liberty
         self.bench_dir = bench_dir
         self.cache_limit = cache_limit
         self.stats = SessionStats()
+        # Library/backend identity prefixed onto every circuit-keyed
+        # cache key: two sessions over different libraries (or backends)
+        # can never alias each other's derived artefacts, even through a
+        # shared or serialized cache store.  The benchmarks cache stays
+        # unprefixed on purpose -- parsed netlists carry no timing and
+        # are backend-independent.
+        self._fp = self._library.fingerprint()
         self._flimits: Optional[Dict] = None
         self._benchmarks: BoundedCache = BoundedCache(cache_limit, "benchmarks")
         self._sta_cache: BoundedCache = BoundedCache(cache_limit, "sta")
@@ -262,13 +295,13 @@ class Session:
         structural edit builds a fresh engine; either way the payload is
         bit-identical to a from-scratch analysis.
         """
-        key = circuit_state_key(circuit)
+        key = (self._fp, circuit_state_key(circuit))
         with self._lock:
             cached = self._sta_cache.get(key)
         if cached is not None:
             self.stats.sta_hits += 1
             return cached
-        skey = circuit_structure_key(circuit)
+        skey = (self._fp, circuit_structure_key(circuit))
         # The populate lock is per *structure*: the incremental engine is
         # shared mutable state, so two different sizings of one netlist
         # must not drive it concurrently.
@@ -303,7 +336,7 @@ class Session:
 
     def critical_path(self, circuit: Circuit) -> ExtractedPath:
         """Critical-path extraction, memoized on the circuit state hash."""
-        key = circuit_state_key(circuit)
+        key = (self._fp, circuit_state_key(circuit))
         with self._lock:
             cached = self._path_cache.get(key)
         if cached is not None:
@@ -325,7 +358,7 @@ class Session:
 
     def path_bounds(self, circuit: Circuit) -> DelayBounds:
         """Critical-path ``(Tmin, Tmax)`` window, memoized per state."""
-        key = circuit_state_key(circuit)
+        key = (self._fp, circuit_state_key(circuit))
         with self._lock:
             cached = self._bounds_cache.get(key)
         if cached is not None:
@@ -355,7 +388,7 @@ class Session:
         means the returned object always reflects ``circuit``'s
         *current* sizes -- stale bindings are impossible.
         """
-        key = circuit_structure_key(circuit)
+        key = (self._fp, circuit_structure_key(circuit))
         # Per-structure lock: ``bind`` rewrites the sizing arrays of a
         # shared object, so concurrent binds of different sizings must
         # serialize (``mc`` holds this same key around its whole batch
@@ -386,7 +419,7 @@ class Session:
         probe batches and ``mc`` batches may run concurrently, and each
         holds its own per-structure populate lock around its own arrays.
         """
-        key = circuit_structure_key(circuit)
+        key = (self._fp, circuit_structure_key(circuit))
         # Per-structure lock: ``bind`` rewrites the shared base
         # annotation, so concurrent binds of different sizings must
         # serialize, and callers run their batch under this same key.
@@ -444,6 +477,37 @@ class Session:
 
     # -- job plumbing --------------------------------------------------
 
+    def _prepare_job(self, job: Job) -> Job:
+        """Validate a job's backend pin and stamp the session's identity.
+
+        A job that names a backend (or a ``.lib``) other than the one
+        this session runs is a spec error -- silently serving it with a
+        different delay model would corrupt campaign bookkeeping.  Jobs
+        that leave the backend unset inherit it: non-analytic sessions
+        stamp ``backend``/``liberty`` into the echo so the produced
+        :class:`~repro.api.records.RunRecord` names the model that made
+        it (analytic stays unstamped to keep the historical byte form).
+        """
+        if job.backend is not None and job.backend != self.backend_name:
+            raise JobError(
+                f"job {job.name!r} pins backend {job.backend!r} but this "
+                f"session runs {self.backend_name!r}"
+            )
+        if (
+            job.liberty is not None
+            and self.liberty_path is not None
+            and os.path.abspath(job.liberty) != os.path.abspath(self.liberty_path)
+        ):
+            raise JobError(
+                f"job {job.name!r} pins liberty {job.liberty!r} but this "
+                f"session loaded {self.liberty_path!r}"
+            )
+        if self.backend_name != "analytic" and job.backend is None:
+            job = replace(
+                job, backend=self.backend_name, liberty=self.liberty_path
+            )
+        return job
+
     def resolve_circuit(self, job: Job) -> Circuit:
         """The working netlist a job refers to."""
         if job.circuit is not None:
@@ -482,6 +546,7 @@ class Session:
         """Critical-path delay window of the job's circuit."""
         started = time.perf_counter()
         self.stats.jobs_run += 1
+        job = self._prepare_job(job)
         circuit = self.resolve_circuit(job)
         extracted = self.critical_path(circuit)
         bounds = self.path_bounds(circuit)
@@ -511,6 +576,7 @@ class Session:
         """
         started = time.perf_counter()
         self.stats.jobs_run += 1
+        job = self._prepare_job(job)
         circuit = self.resolve_circuit(job)
         bounds = self.path_bounds(circuit)
         tc_ps = self.resolve_tc(job, bounds.tmin_ps)
@@ -567,6 +633,7 @@ class Session:
         """Area / activity / power report for the job's circuit."""
         started = time.perf_counter()
         self.stats.jobs_run += 1
+        job = self._prepare_job(job)
         circuit = self.resolve_circuit(job)
         activity = estimate_activity(circuit, n_vectors=job.activity_vectors)
         report = estimate_power(
@@ -604,6 +671,7 @@ class Session:
         """
         started = time.perf_counter()
         self.stats.jobs_run += 1
+        job = self._prepare_job(job)
         circuit = self.resolve_circuit(job)
         # Only a Tmin-relative constraint needs the (eq. 4) bounds solve;
         # an absolute tc_ps must not pay extraction + fixed point for a
@@ -616,7 +684,9 @@ class Session:
         # sizing arrays, so a concurrent mc over another sizing of the
         # same netlist must wait (the inner ``compiled`` call re-enters
         # the same RLock).
-        with self._populate_lock("compiled", circuit_structure_key(circuit)):
+        with self._populate_lock(
+            "compiled", (self._fp, circuit_structure_key(circuit))
+        ):
             result: McResult = mc_analyze(
                 circuit,
                 self._library,
@@ -666,6 +736,9 @@ class Session:
         for job in job_list:
             if not isinstance(job, Job):
                 raise JobError(f"optimize_many expects Job instances, got {job!r}")
+        # Stamp the backend identity up front so the serial loop and the
+        # pool path ship (and echo) byte-identical job dicts.
+        job_list = [self._prepare_job(job) for job in job_list]
         if workers and workers > 1 and len(job_list) > 1:
             try:
                 return self._optimize_parallel(job_list, workers)

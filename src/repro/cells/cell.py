@@ -18,6 +18,7 @@ areas are derived views (``sum W`` is the paper's area/power metric).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cells.gate_types import GateKind, is_inverting, num_inputs
 from repro.process.technology import Technology
@@ -46,6 +47,11 @@ class Cell:
     stack_n / stack_p:
         Series transistor counts of the pull-down / pull-up networks
         (transistor-level simulator view).
+    cin_min_ff:
+        Optional explicit minimum drive (fF).  Cells imported from a
+        Liberty library carry the characterised pin capacitance here;
+        ``None`` derives the floor from the technology's minimum width
+        exactly as before.
     """
 
     kind: GateKind
@@ -56,8 +62,11 @@ class Cell:
     area_factor: float = 1.0
     stack_n: int = 1
     stack_p: int = 1
+    cin_min_ff: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.cin_min_ff is not None and self.cin_min_ff <= 0:
+            raise ValueError("cin_min_ff must be positive when given")
         if self.k_ratio <= 0:
             raise ValueError(f"k_ratio must be positive, got {self.k_ratio}")
         if self.dw_hl < 1.0 or self.dw_lh < 1.0:
@@ -134,7 +143,10 @@ class Cell:
         entry = self.__dict__.get("_cin_min_entry")
         if entry is not None and entry[0] is tech:
             return entry[1]
-        value = tech.cin_for_width(tech.w_min_um * (1.0 + self.k_ratio))
+        if self.cin_min_ff is not None:
+            value = self.cin_min_ff
+        else:
+            value = tech.cin_for_width(tech.w_min_um * (1.0 + self.k_ratio))
         object.__setattr__(self, "_cin_min_entry", (tech, value))
         return value
 

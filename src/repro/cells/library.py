@@ -13,11 +13,14 @@ the LH edge for NORs.  This is what makes NOR gates the least efficient
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.cells.cell import Cell
 from repro.cells.gate_types import GateKind
 from repro.process.technology import CMOS025, Technology
+
+if TYPE_CHECKING:
+    from repro.timing.backend import DelayBackend
 
 
 class UnknownCellError(KeyError):
@@ -26,10 +29,16 @@ class UnknownCellError(KeyError):
 
 @dataclass(frozen=True)
 class Library:
-    """An immutable collection of characterised cells plus its technology."""
+    """An immutable collection of characterised cells plus its technology.
+
+    ``backend`` selects the delay model every evaluator dispatches
+    through; ``None`` (the default) resolves to the shared analytic
+    eq. 1-3 backend, so pre-existing construction sites are unchanged.
+    """
 
     tech: Technology
     cells: Mapping[GateKind, Cell] = field(repr=False)
+    backend: Optional["DelayBackend"] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if GateKind.INV not in self.cells:
@@ -60,6 +69,72 @@ class Library:
     def cref(self) -> float:
         """Minimum available drive ``CREF`` (fF): the minimum inverter input."""
         return self.inverter.cin_min(self.tech)
+
+    @property
+    def delay_backend(self) -> "DelayBackend":
+        """The delay backend every evaluator dispatches through.
+
+        Resolves ``backend=None`` to the shared analytic singleton; the
+        result is cached per instance (the import is deferred because
+        ``repro.timing`` imports this module at package init).
+        """
+        cached = self.__dict__.get("_backend_cache")
+        if cached is not None:
+            return cached
+        backend = self.backend
+        if backend is None:
+            from repro.timing.backend import ANALYTIC_BACKEND
+
+            backend = ANALYTIC_BACKEND
+        object.__setattr__(self, "_backend_cache", backend)
+        return backend
+
+    def fingerprint(self) -> Tuple:
+        """Hashable identity of everything that determines timing.
+
+        Folds the technology scalars, the characterised cell parameters
+        and the backend's :meth:`~repro.timing.backend.DelayBackend.
+        cache_token` into one tuple; the
+        :class:`~repro.api.session.Session` prefixes every timing cache
+        key with it so two libraries (or two backends over the same
+        cells) can never alias an entry.  Cached per instance --
+        libraries are immutable.
+        """
+        cached = self.__dict__.get("_fingerprint_cache")
+        if cached is not None:
+            return cached
+        tech = self.tech
+        tech_key = (
+            tech.name,
+            tech.vdd,
+            tech.vtn,
+            tech.vtp,
+            tech.tau_ps,
+            tech.r_ratio,
+            tech.c_gate_ff_per_um,
+            tech.c_junction_ff_per_um,
+            tech.w_min_um,
+            tech.mobility_exponent,
+        )
+        cells_key = tuple(
+            (
+                kind.value,
+                cell.k_ratio,
+                cell.dw_hl,
+                cell.dw_lh,
+                cell.p_intrinsic,
+                cell.area_factor,
+                cell.stack_n,
+                cell.stack_p,
+                cell.cin_min_ff,
+            )
+            for kind, cell in sorted(
+                self.cells.items(), key=lambda item: item[0].value
+            )
+        )
+        fp = (tech_key, cells_key, self.delay_backend.cache_token())
+        object.__setattr__(self, "_fingerprint_cache", fp)
+        return fp
 
 
 def _default_cells(k_ratio: float) -> Dict[GateKind, Cell]:

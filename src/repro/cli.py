@@ -10,6 +10,13 @@ Subcommands mirror the protocol steps:
 * ``pops sweep <benchmark...>``     -- Tc-sweep campaign + Pareto frontier
 * ``pops mc <benchmark...>``        -- Monte-Carlo corner analysis / yield
 * ``pops benchmarks``               -- list the registered circuits
+* ``pops lib <file.lib>``           -- inspect/validate an NLDM Liberty file
+
+Analysis subcommands accept ``--backend {analytic,nldm}`` plus
+``--liberty <file.lib>`` to run the whole stack off characterised NLDM
+tables instead of the closed-form eq. 1-3 model (see
+:mod:`repro.timing.backend`); ``--liberty`` alone implies
+``--backend nldm``.
 
 The serving surface (see :mod:`repro.serve`):
 
@@ -71,7 +78,15 @@ def _parse_points(text: str) -> List[float]:
 
 
 def _session(args: argparse.Namespace) -> Session:
-    return Session(bench_dir=getattr(args, "bench_dir", None))
+    backend = getattr(args, "backend", None)
+    liberty = getattr(args, "liberty", None)
+    if liberty is not None and backend is None:
+        backend = "nldm"
+    return Session(
+        bench_dir=getattr(args, "bench_dir", None),
+        backend=backend,
+        liberty=liberty,
+    )
 
 
 def _emit(args: argparse.Namespace, record) -> bool:
@@ -101,6 +116,83 @@ def _cmd_benchmarks(args: argparse.Namespace) -> int:
         )
         return 0
     print(format_table(("circuit", "gates", "inputs", "depth"), rows))
+    return 0
+
+
+def _cmd_lib(args: argparse.Namespace) -> int:
+    """Load/validate a Liberty ``.lib`` and report its table geometry."""
+    from repro.cells.gate_types import num_inputs
+    from repro.liberty import library_from_lib
+    from repro.timing.backend import backend_fo4
+    from repro.timing.delay_model import fanout_four_delay
+
+    library = library_from_lib(args.lib)
+    backend = library.delay_backend
+    tables = backend.tables
+    tech = library.tech
+    cells = []
+    for kind in tables.kinds():
+        cell = library.cells[kind]
+        cin_ref = float(tables.cin_ref[tables.kind_index[kind]])
+        fo4_nldm = backend_fo4(cell, tech, cin_ref, backend)
+        fo4_analytic = fanout_four_delay(cell, tech, cin_ref)
+        cells.append(
+            {
+                "cell": kind.value,
+                "arcs": num_inputs(kind),
+                "cin_ref_ff": cin_ref,
+                "fo4_nldm_ps": fo4_nldm,
+                "fo4_analytic_ps": fo4_analytic,
+                "fo4_delta_pct": 100.0 * (fo4_nldm - fo4_analytic) / fo4_analytic,
+            }
+        )
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                {
+                    "lib": args.lib,
+                    "digest": tables.digest,
+                    "n_cells": tables.n_cells,
+                    "slew_axis_ps": list(tables.slew_axis),
+                    "load_axis_ff": list(tables.load_axis),
+                    "cells": cells,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"library      : {args.lib}")
+    print(f"digest       : {tables.digest}")
+    print(f"cells        : {tables.n_cells}")
+    print(
+        f"slew axis    : {len(tables.slew_axis)} points, "
+        f"{tables.slew_axis[0]:g}..{tables.slew_axis[-1]:g} ps"
+    )
+    print(
+        f"load axis    : {len(tables.load_axis)} points, "
+        f"{tables.load_axis[0]:g}..{tables.load_axis[-1]:g} fF"
+    )
+    rows = [
+        (
+            entry["cell"],
+            entry["arcs"],
+            f"{entry['cin_ref_ff']:.3f}",
+            f"{entry['fo4_nldm_ps']:.2f}",
+            f"{entry['fo4_analytic_ps']:.2f}",
+            f"{entry['fo4_delta_pct']:+.2f}%",
+        )
+        for entry in cells
+    ]
+    print()
+    print(
+        format_table(
+            ("cell", "arcs", "cin_ref (fF)", "FO4 nldm (ps)",
+             "FO4 analytic (ps)", "delta"),
+            rows,
+            title="NLDM cells (FO4 figures per backend)",
+        )
+    )
     return 0
 
 
@@ -556,6 +648,22 @@ def _cmd_serve_shutdown(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    """Delay-model backend flags shared by the analysis subcommands."""
+    parser.add_argument(
+        "--backend",
+        choices=("analytic", "nldm"),
+        default=None,
+        help="delay model: closed-form eq. 1-3 (default) or NLDM tables",
+    )
+    parser.add_argument(
+        "--liberty",
+        default=None,
+        metavar="FILE.lib",
+        help="Liberty file for the NLDM backend (implies --backend nldm)",
+    )
+
+
 def _add_client_args(parser: argparse.ArgumentParser) -> None:
     """Daemon addressing flags shared by every client subcommand."""
     parser.add_argument(
@@ -602,14 +710,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_char.add_argument("--json", action="store_true", help="emit the run record")
 
+    p_lib = sub.add_parser(
+        "lib", help="inspect/validate an NLDM Liberty (.lib) file"
+    )
+    p_lib.add_argument("lib", help="path to the .lib file")
+    p_lib.add_argument("--json", action="store_true", help="machine-readable report")
+
     p_bounds = sub.add_parser("bounds", help="critical path delay bounds")
     p_bounds.add_argument("benchmark", help="benchmark name (see 'benchmarks')")
     p_bounds.add_argument("--bench-dir", default=None, help="real .bench directory")
+    _add_backend_args(p_bounds)
     p_bounds.add_argument("--json", action="store_true", help="emit the run record")
 
     p_opt = sub.add_parser("optimize", help="run the optimization protocol")
     p_opt.add_argument("benchmark")
     p_opt.add_argument("--bench-dir", default=None, help="real .bench directory")
+    _add_backend_args(p_opt)
     group = p_opt.add_mutually_exclusive_group()
     group.add_argument("--tc-ps", type=float, default=None, help="constraint in ps")
     group.add_argument(
@@ -647,6 +763,7 @@ def build_parser() -> argparse.ArgumentParser:
         "benchmarks", nargs="+", help="benchmark names (see 'benchmarks')"
     )
     p_sweep.add_argument("--bench-dir", default=None, help="real .bench directory")
+    _add_backend_args(p_sweep)
     sweep_axis = p_sweep.add_mutually_exclusive_group()
     sweep_axis.add_argument(
         "--tc-ratios",
@@ -726,6 +843,7 @@ def build_parser() -> argparse.ArgumentParser:
         "benchmarks", nargs="+", help="benchmark names (see 'benchmarks')"
     )
     p_mc.add_argument("--bench-dir", default=None, help="real .bench directory")
+    _add_backend_args(p_mc)
     p_mc.add_argument(
         "--samples", type=int, default=1000, help="process corners to sample"
     )
@@ -752,6 +870,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", help="STA timing report")
     p_report.add_argument("benchmark")
     p_report.add_argument("--bench-dir", default=None)
+    _add_backend_args(p_report)
     p_report.add_argument("--tc-ps", type=float, default=None)
     p_report.add_argument("--paths", type=int, default=3)
     p_report.add_argument("--json", action="store_true",
@@ -760,6 +879,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_power = sub.add_parser("power", help="area / activity / power report")
     p_power.add_argument("benchmark")
     p_power.add_argument("--bench-dir", default=None)
+    _add_backend_args(p_power)
     p_power.add_argument("--frequency", type=float, default=100.0,
                          help="clock frequency in MHz")
     p_power.add_argument("--vectors", type=int, default=128,
@@ -883,6 +1003,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "benchmarks": _cmd_benchmarks,
+    "lib": _cmd_lib,
     "characterize": _cmd_characterize,
     "bounds": _cmd_bounds,
     "optimize": _cmd_optimize,
@@ -901,9 +1022,18 @@ def _designed_errors() -> tuple:
     """Exception types that mean 'bad input/spec', not 'pops bug'."""
     from repro.api import JobError
     from repro.explore import CampaignError
+    from repro.liberty import LibertyError
     from repro.serve import ProtocolError, ServeClientError
 
-    return (JobError, CampaignError, ProtocolError, ServeClientError, KeyError)
+    return (
+        JobError,
+        CampaignError,
+        LibertyError,
+        ProtocolError,
+        ServeClientError,
+        KeyError,
+        FileNotFoundError,
+    )
 
 
 def _fail(args: argparse.Namespace, exc: BaseException) -> int:

@@ -1,0 +1,196 @@
+"""Export an analytic library to a minimal NLDM ``.lib``.
+
+:func:`export_library` characterises every cell of a
+:class:`~repro.cells.library.Library` through the analytic eq. 1-3
+model and writes the four NLDM tables per cell (``cell_rise``,
+``cell_fall``, ``rise_transition``, ``fall_transition``) over a shared
+``(input slew, external load)`` grid, at the cell's minimum input
+capacitance ``cin_ref``.
+
+Numbers are emitted with ``repr`` so the parse -> export -> parse loop
+is lossless, which the round-trip fixture tests pin.  The companion
+``scripts/make_sample_lib.py`` writes ``examples/sample_nldm.lib``, the
+sample library the NLDM backend tests and the CLI examples run on.
+
+Fidelity of the exported tables: the analytic delay is linear in the
+input slew (eq. 1) and the analytic transition is linear in the load
+and slew-free (eq. 2), so those dimensions interpolate *exactly*; the
+delay's load dependence goes through the Miller factor
+``1 + 2 C_M / (C_M + C_L)`` (eq. 1), which is nonlinear, so delays
+between load grid points carry bilinear interpolation error.  At the
+grid nodes every value matches the analytic model to the last bit --
+the anchor the analytic-vs-NLDM parity tests use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cells.gate_types import GateKind, num_inputs
+from repro.cells.library import Library
+from repro.timing.delay_model import Edge, gate_delay
+
+#: Default input-slew axis (ps): dense near the fast-input regime.
+DEFAULT_SLEW_AXIS_PS = (0.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0)
+
+#: Default external-load axis, in multiples of the library ``CREF``.
+DEFAULT_LOAD_MULTIPLES = (0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+_TEMPLATE_NAME = "delay_8x8"
+
+_FUNCTIONS = {
+    GateKind.INV: "!A",
+    GateKind.BUF: "A",
+    GateKind.NAND2: "!(A&B)",
+    GateKind.NAND3: "!(A&B&C)",
+    GateKind.NAND4: "!(A&B&C&D)",
+    GateKind.NOR2: "!(A|B)",
+    GateKind.NOR3: "!(A|B|C)",
+    GateKind.NOR4: "!(A|B|C|D)",
+    GateKind.AND2: "(A&B)",
+    GateKind.AND3: "(A&B&C)",
+    GateKind.AND4: "(A&B&C&D)",
+    GateKind.OR2: "(A|B)",
+    GateKind.OR3: "(A|B|C)",
+    GateKind.OR4: "(A|B|C|D)",
+    GateKind.XOR2: "(A^B)",
+    GateKind.XNOR2: "!(A^B)",
+    GateKind.AOI21: "!((A&B)|C)",
+    GateKind.AOI22: "!((A&B)|(C&D))",
+    GateKind.OAI21: "!((A|B)&C)",
+    GateKind.OAI22: "!((A|B)&(C|D))",
+}
+
+
+def _fmt(value: float) -> str:
+    """Lossless decimal form of one float (``repr`` round-trips)."""
+    return repr(float(value))
+
+
+def _fmt_axis(values: Sequence[float]) -> str:
+    return '"' + ", ".join(_fmt(v) for v in values) + '"'
+
+
+def _table_lines(
+    kind: str,
+    slew_axis: Sequence[float],
+    load_axis: Sequence[float],
+    grid: List[List[float]],
+    indent: str,
+) -> List[str]:
+    """Emit one ``cell_rise (template) { ... }`` group."""
+    lines = [f"{indent}{kind} ({_TEMPLATE_NAME}) {{"]
+    lines.append(f"{indent}  index_1 ({_fmt_axis(slew_axis)});")
+    lines.append(f"{indent}  index_2 ({_fmt_axis(load_axis)});")
+    lines.append(f"{indent}  values ( \\")
+    for i, row in enumerate(grid):
+        tail = ", \\" if i + 1 < len(grid) else " \\"
+        lines.append(f"{indent}    {_fmt_axis(row)}{tail}")
+    lines.append(f"{indent}  );")
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def export_library(
+    library: Library,
+    name: str = "repro_sample",
+    slew_axis_ps: Optional[Sequence[float]] = None,
+    load_axis_ff: Optional[Sequence[float]] = None,
+) -> str:
+    """Characterise ``library`` through eq. 1-3 into NLDM ``.lib`` text.
+
+    Parameters
+    ----------
+    library:
+        The analytic library to characterise (its backend is ignored;
+        table values always come from the closed-form model).
+    name:
+        Liberty library name.
+    slew_axis_ps / load_axis_ff:
+        Table axes; default to :data:`DEFAULT_SLEW_AXIS_PS` and
+        :data:`DEFAULT_LOAD_MULTIPLES` times the library ``CREF``.
+    """
+    tech = library.tech
+    slew_axis = list(
+        DEFAULT_SLEW_AXIS_PS if slew_axis_ps is None else slew_axis_ps
+    )
+    if load_axis_ff is None:
+        load_axis = [m * library.cref for m in DEFAULT_LOAD_MULTIPLES]
+    else:
+        load_axis = list(load_axis_ff)
+
+    lines: List[str] = []
+    lines.append(f"library ({name}) {{")
+    lines.append('  comment : "characterised from the analytic eq. 1-3 model";')
+    lines.append('  time_unit : "1ps";')
+    lines.append('  voltage_unit : "1V";')
+    lines.append("  capacitive_load_unit (1, ff);")
+    lines.append(f"  nom_voltage : {_fmt(tech.vdd)};")
+    lines.append(f"  lu_table_template ({_TEMPLATE_NAME}) {{")
+    lines.append("    variable_1 : input_net_transition;")
+    lines.append("    variable_2 : total_output_net_capacitance;")
+    lines.append(f"    index_1 ({_fmt_axis(slew_axis)});")
+    lines.append(f"    index_2 ({_fmt_axis(load_axis)});")
+    lines.append("  }")
+
+    for kind, cell in sorted(library.cells.items(), key=lambda kv: kv[0].value):
+        cin_ref = cell.cin_min(tech)
+        rise_in = Edge.FALL if cell.inverting else Edge.RISE
+        fall_in = rise_in.flipped
+        tables = {}
+        for table_kind, in_edge in (("rise", rise_in), ("fall", fall_in)):
+            delay_grid: List[List[float]] = []
+            tran_grid: List[List[float]] = []
+            for slew in slew_axis:
+                delay_row: List[float] = []
+                tran_row: List[float] = []
+                for load in load_axis:
+                    timing = gate_delay(cell, tech, cin_ref, load, slew, in_edge)
+                    delay_row.append(timing.delay_ps)
+                    tran_row.append(timing.tout_ps)
+                delay_grid.append(delay_row)
+                tran_grid.append(tran_row)
+            tables[f"cell_{table_kind}"] = delay_grid
+            tables[f"{table_kind}_transition"] = tran_grid
+
+        pins = "ABCD"[: num_inputs(kind)]
+        lines.append(f"  cell ({kind.value}) {{")
+        lines.append(f"    area : {_fmt(cell.area_factor)};")
+        for pin in pins:
+            lines.append(f"    pin ({pin}) {{")
+            lines.append("      direction : input;")
+            lines.append(f"      capacitance : {_fmt(cin_ref)};")
+            lines.append("    }")
+        sense = "negative_unate" if cell.inverting else "positive_unate"
+        lines.append("    pin (Y) {")
+        lines.append("      direction : output;")
+        function = _FUNCTIONS.get(kind)
+        if function is not None:
+            lines.append(f'      function : "{function}";')
+        for pin in pins:
+            lines.append("      timing () {")
+            lines.append(f'        related_pin : "{pin}";')
+            lines.append(f"        timing_sense : {sense};")
+            for table_kind in (
+                "cell_rise",
+                "cell_fall",
+                "rise_transition",
+                "fall_transition",
+            ):
+                lines.extend(
+                    _table_lines(
+                        table_kind, slew_axis, load_axis, tables[table_kind], "        "
+                    )
+                )
+            lines.append("      }")
+        lines.append("    }")
+        lines.append("  }")
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_library(library: Library, path: str, name: str = "repro_sample") -> None:
+    """Write :func:`export_library` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(export_library(library, name=name))

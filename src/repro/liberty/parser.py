@@ -1,0 +1,266 @@
+"""Minimal Liberty (.lib) parser: tokenize + recursive descent.
+
+Liberty is a simple nested-group format::
+
+    library (name) {
+      simple_attr : value;
+      complex_attr ("arg1", "arg2");
+      group_name (arg) {
+        ...
+      }
+    }
+
+This parser covers exactly that shape -- groups, simple attributes and
+complex attributes, with ``//`` / ``/* */`` comments, quoted strings and
+backslash line continuations -- which is enough for NLDM timing tables
+(``lu_table_template``, ``cell``, ``pin``, ``timing``, ``cell_rise`` ...).
+It deliberately does not model the full Liberty grammar (no expressions,
+no ``define``); unknown constructs that fit the group/attribute shape are
+preserved generically so callers can ignore them.
+
+The output is a tree of :class:`LibertyGroup` nodes.  All attribute
+values are kept as raw strings; numeric interpretation is the caller's
+job (:mod:`repro.liberty.tables` does it for NLDM tables).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class LibertyError(ValueError):
+    """Raised on malformed Liberty input (syntax or NLDM semantics)."""
+
+
+@dataclass
+class LibertyGroup:
+    """One ``name (args) { ... }`` group of a Liberty file.
+
+    Attributes
+    ----------
+    kind:
+        Group keyword, e.g. ``"library"``, ``"cell"``, ``"pin"``.
+    args:
+        Parenthesised arguments, unquoted (``cell (inv)`` -> ``("inv",)``).
+    attributes:
+        Simple attributes ``name : value;`` (last occurrence wins).
+    complex_attributes:
+        Complex attributes ``name (args...);`` in file order; repeated
+        names are kept (``index_1`` vs ``index_2`` differ by name anyway).
+    groups:
+        Nested groups in file order.
+    """
+
+    kind: str
+    args: Tuple[str, ...] = ()
+    attributes: Dict[str, str] = field(default_factory=dict)
+    complex_attributes: List[Tuple[str, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    groups: List["LibertyGroup"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """First group argument (the conventional group name) or ``""``."""
+        return self.args[0] if self.args else ""
+
+    def find(self, kind: str, name: Optional[str] = None) -> Optional["LibertyGroup"]:
+        """First nested group of ``kind`` (and ``name``, if given)."""
+        for group in self.groups:
+            if group.kind == kind and (name is None or group.name == name):
+                return group
+        return None
+
+    def find_all(self, kind: str) -> List["LibertyGroup"]:
+        """All nested groups of ``kind`` in file order."""
+        return [group for group in self.groups if group.kind == kind]
+
+    def complex_values(self, name: str) -> Optional[Tuple[str, ...]]:
+        """Arguments of the first complex attribute called ``name``."""
+        for attr_name, args in self.complex_attributes:
+            if attr_name == name:
+                return args
+        return None
+
+
+_COMMENT_RE = re.compile(r"/\*.*?\*/|//[^\n]*", re.DOTALL)
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s+                                   # whitespace (skipped)
+  | "(?:[^"\\]|\\.)*"                    # quoted string
+  | [A-Za-z0-9_.+\-!*/]+                  # bareword / number / function char
+  | [(){};:,]                             # punctuation
+    """,
+    re.VERBOSE,
+)
+
+
+def _strip_comments(text: str) -> str:
+    """Remove ``/* */`` and ``//`` comments, preserving newlines for errors."""
+
+    def blank(match: "re.Match[str]") -> str:
+        return "\n" * match.group(0).count("\n")
+
+    return _COMMENT_RE.sub(blank, text)
+
+
+def _tokenize(text: str) -> List[str]:
+    """Split Liberty text into tokens (strings keep their quotes)."""
+    text = _strip_comments(text).replace("\\\n", " ")
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            line = text.count("\n", 0, pos) + 1
+            raise LibertyError(
+                f"unexpected character {text[pos]!r} at line {line}"
+            )
+        token = match.group(0)
+        pos = match.end()
+        if not token.strip():
+            continue
+        tokens.append(token)
+    return tokens
+
+
+def _unquote(token: str) -> str:
+    """Strip surrounding quotes (and unescape) from a string token."""
+    if len(token) >= 2 and token[0] == '"' and token[-1] == '"':
+        return token[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    return token
+
+
+class _Parser:
+    """Token-stream recursive-descent parser for the group grammar."""
+
+    def __init__(self, tokens: List[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Optional[str]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise LibertyError("unexpected end of file")
+        self._pos += 1
+        return token
+
+    def _expect(self, token: str) -> None:
+        got = self._next()
+        if got != token:
+            raise LibertyError(f"expected {token!r}, got {got!r}")
+
+    def parse_group(self) -> LibertyGroup:
+        """Parse one ``kind (args) { body }`` group."""
+        kind = self._next()
+        args = self._parse_args()
+        self._expect("{")
+        group = LibertyGroup(kind=kind, args=args)
+        while True:
+            token = self._peek()
+            if token is None:
+                raise LibertyError(f"unterminated group {kind!r}")
+            if token == "}":
+                self._next()
+                break
+            self._parse_statement(group)
+        return group
+
+    def _parse_args(self) -> Tuple[str, ...]:
+        """Parse a parenthesised, comma-separated argument list."""
+        self._expect("(")
+        args: List[str] = []
+        while True:
+            token = self._next()
+            if token == ")":
+                break
+            if token == ",":
+                continue
+            args.append(_unquote(token))
+        return tuple(args)
+
+    def _parse_statement(self, group: LibertyGroup) -> None:
+        """Parse one body statement: simple attr, complex attr or group."""
+        name = self._next()
+        token = self._peek()
+        if token == ":":
+            self._next()
+            value_parts: List[str] = []
+            while True:
+                part = self._next()
+                if part == ";":
+                    break
+                if part in ("{", "}"):
+                    raise LibertyError(
+                        f"unterminated attribute {name!r} (missing ';')"
+                    )
+                value_parts.append(_unquote(part))
+            group.attributes[name] = " ".join(value_parts)
+            return
+        if token == "(":
+            args = self._parse_args()
+            token = self._peek()
+            if token == "{":
+                self._next()
+                nested = LibertyGroup(kind=name, args=args)
+                while True:
+                    inner = self._peek()
+                    if inner is None:
+                        raise LibertyError(f"unterminated group {name!r}")
+                    if inner == "}":
+                        self._next()
+                        break
+                    self._parse_statement(nested)
+                group.groups.append(nested)
+                return
+            if token == ";":
+                self._next()
+            group.complex_attributes.append((name, args))
+            return
+        raise LibertyError(f"expected ':' or '(' after {name!r}, got {token!r}")
+
+
+def parse_liberty(text: str) -> LibertyGroup:
+    """Parse Liberty source text; return the top-level ``library`` group."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise LibertyError("empty liberty input")
+    parser = _Parser(tokens)
+    top = parser.parse_group()
+    if parser._peek() is not None:
+        raise LibertyError(f"trailing tokens after group {top.kind!r}")
+    if top.kind != "library":
+        raise LibertyError(f"expected a 'library' group, got {top.kind!r}")
+    return top
+
+
+def parse_liberty_file(path: str) -> LibertyGroup:
+    """Read and parse a ``.lib`` file; return the ``library`` group."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_liberty(handle.read())
+
+
+def parse_number_list(args: Tuple[str, ...]) -> List[float]:
+    """Flatten ``index``/``values`` arguments into floats.
+
+    Liberty packs numbers into quoted, comma-separated strings, one
+    string per table row: ``values ("1, 2", "3, 4")``.  The quotes are
+    already stripped by the tokenizer; each argument may still contain
+    several comma- or whitespace-separated numbers.
+    """
+    numbers: List[float] = []
+    for arg in args:
+        for piece in arg.replace(",", " ").split():
+            try:
+                numbers.append(float(piece))
+            except ValueError:
+                raise LibertyError(f"expected a number, got {piece!r}") from None
+    return numbers

@@ -1,0 +1,363 @@
+"""NLDM table stacks and the shared bilinear interpolation kernel.
+
+:class:`NldmTables` flattens the per-cell lookup tables of a parsed
+Liberty library into four stacked ``(n_cells, S, L)`` arrays (cell_rise,
+cell_fall, rise_transition, fall_transition) over **shared** slew/load
+axes, plus the per-cell reference input capacitance the table columns
+were characterised at.  Shared axes are a hard requirement (mixed
+``lu_table_template`` grids raise :class:`~repro.liberty.parser.
+LibertyError`): they let the batch evaluators do one ``searchsorted``
+per level instead of one per cell kind.
+
+The two interpolation helpers -- :func:`interp_table` (scalar) and
+:func:`interp_table_stack` (vectorized with a per-element table index)
+-- evaluate the *same* IEEE-754 operation sequence, which is what makes
+the scalar STA and the batch kernels bit-identical under the NLDM
+backend (see ``docs/ARCHITECTURE.md``).  Index weights are deliberately
+left unclamped so lookups beyond the grid extrapolate linearly: the
+sizing optimizers need live gradients outside the characterised box.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cells.gate_types import GateKind
+from repro.liberty.parser import LibertyError, LibertyGroup, parse_number_list
+
+#: Table kinds, in stacking order: (delay, transition) x (rise, fall).
+TABLE_KINDS = ("cell_rise", "cell_fall", "rise_transition", "fall_transition")
+
+
+def _axis_index(axis: np.ndarray, x):
+    """Left grid index of ``x``: the segment ``[axis[i], axis[i+1]]``.
+
+    Clipped to the axis so out-of-range points reuse the nearest edge
+    segment (linear extrapolation together with unclamped weights).
+    Works elementwise for arrays and returns a python ``int`` for
+    scalars so the scalar path stays allocation-free.
+    """
+    if np.ndim(x) == 0:
+        i = int(np.searchsorted(axis, x, side="right")) - 1
+        return min(max(i, 0), axis.size - 2)
+    i = np.searchsorted(axis, x, side="right") - 1
+    return np.clip(i, 0, axis.size - 2)
+
+
+def interp_table(
+    table: np.ndarray,
+    slew_axis: np.ndarray,
+    load_axis: np.ndarray,
+    slew,
+    load,
+):
+    """Bilinear lookup of one ``(S, L)`` table at scalar ``(slew, load)``.
+
+    The operation sequence is kept in lockstep with
+    :func:`interp_table_stack`; both paths must produce bit-identical
+    IEEE-754 results for the backend parity ladder to hold.
+    """
+    si = _axis_index(slew_axis, slew)
+    li = _axis_index(load_axis, load)
+    ws = (slew - slew_axis[si]) / (slew_axis[si + 1] - slew_axis[si])
+    wl = (load - load_axis[li]) / (load_axis[li + 1] - load_axis[li])
+    v00 = table[si, li]
+    v01 = table[si, li + 1]
+    v10 = table[si + 1, li]
+    v11 = table[si + 1, li + 1]
+    v0 = v00 + (v01 - v00) * wl
+    v1 = v10 + (v11 - v10) * wl
+    return v0 + (v1 - v0) * ws
+
+
+def interp_table_stack(
+    tables: np.ndarray,
+    table_idx: np.ndarray,
+    slew_axis: np.ndarray,
+    load_axis: np.ndarray,
+    slew: np.ndarray,
+    load: np.ndarray,
+) -> np.ndarray:
+    """Vectorized bilinear lookup with a per-element table selector.
+
+    Element ``e`` evaluates ``tables[table_idx[e]]`` at
+    ``(slew[e], load[e])``; ``table_idx``, ``slew`` and ``load`` must
+    already be broadcast to one common shape.  Same operation sequence
+    as :func:`interp_table` (bit-identical results).
+    """
+    si = _axis_index(slew_axis, slew)
+    li = _axis_index(load_axis, load)
+    ws = (slew - slew_axis[si]) / (slew_axis[si + 1] - slew_axis[si])
+    wl = (load - load_axis[li]) / (load_axis[li + 1] - load_axis[li])
+    v00 = tables[table_idx, si, li]
+    v01 = tables[table_idx, si, li + 1]
+    v10 = tables[table_idx, si + 1, li]
+    v11 = tables[table_idx, si + 1, li + 1]
+    v0 = v00 + (v01 - v00) * wl
+    v1 = v10 + (v11 - v10) * wl
+    return v0 + (v1 - v0) * ws
+
+
+class NldmTables:
+    """Stacked NLDM lookup tables of one Liberty library.
+
+    Attributes
+    ----------
+    slew_axis / load_axis:
+        Shared table axes: input transition (ps) and effective output
+        load (fF), strictly increasing.
+    cell_rise / cell_fall / rise_transition / fall_transition:
+        ``(n_cells, S, L)`` stacks, indexed by :attr:`kind_index`.
+    cin_ref:
+        ``(n_cells,)`` reference input capacitance (fF) each cell's
+        table loads were characterised against (the input pin
+        ``capacitance`` attribute).  Lookups for a gate sized to
+        ``cin`` rescale the external load to ``load * cin_ref / cin``
+        before entering the table -- the table abscissa is *electrical
+        effort*, which is what makes one table serve every size.
+    kind_index:
+        ``GateKind -> row`` into the stacks.
+    digest:
+        Content hash (sha1 over axes, ``cin_ref`` and all tables); the
+        NLDM backend's cache token, so sessions never alias timing
+        caches across different ``.lib`` contents.
+    """
+
+    def __init__(
+        self,
+        slew_axis: np.ndarray,
+        load_axis: np.ndarray,
+        tables: Dict[str, np.ndarray],
+        cin_ref: np.ndarray,
+        kind_index: Dict[GateKind, int],
+    ) -> None:
+        self.slew_axis = np.asarray(slew_axis, dtype=float)
+        self.load_axis = np.asarray(load_axis, dtype=float)
+        for axis, label in ((self.slew_axis, "slew"), (self.load_axis, "load")):
+            if axis.size < 2:
+                raise LibertyError(f"{label} axis needs at least two points")
+            if not np.all(np.diff(axis) > 0):
+                raise LibertyError(f"{label} axis must be strictly increasing")
+        self.cell_rise = np.asarray(tables["cell_rise"], dtype=float)
+        self.cell_fall = np.asarray(tables["cell_fall"], dtype=float)
+        self.rise_transition = np.asarray(tables["rise_transition"], dtype=float)
+        self.fall_transition = np.asarray(tables["fall_transition"], dtype=float)
+        self.cin_ref = np.asarray(cin_ref, dtype=float)
+        self.kind_index = dict(kind_index)
+        n = len(self.kind_index)
+        shape = (n, self.slew_axis.size, self.load_axis.size)
+        for kind in TABLE_KINDS:
+            stack = getattr(self, kind)
+            if stack.shape != shape:
+                raise LibertyError(
+                    f"{kind} stack has shape {stack.shape}, expected {shape}"
+                )
+        if self.cin_ref.shape != (n,):
+            raise LibertyError("cin_ref must have one entry per cell")
+        if np.any(self.cin_ref <= 0):
+            raise LibertyError("cin_ref entries must be positive")
+        self.digest = self._digest()
+
+    def _digest(self) -> str:
+        sha = hashlib.sha1()
+        for kind, idx in sorted(self.kind_index.items(), key=lambda kv: kv[1]):
+            sha.update(kind.value.encode())
+        for array in (
+            self.slew_axis,
+            self.load_axis,
+            self.cin_ref,
+            self.cell_rise,
+            self.cell_fall,
+            self.rise_transition,
+            self.fall_transition,
+        ):
+            sha.update(np.ascontiguousarray(array, dtype=float).tobytes())
+        return sha.hexdigest()
+
+    @property
+    def n_cells(self) -> int:
+        """Number of characterised cells in the stacks."""
+        return len(self.kind_index)
+
+    def kinds(self) -> List[GateKind]:
+        """Characterised gate kinds in stack order."""
+        return [
+            kind
+            for kind, _ in sorted(self.kind_index.items(), key=lambda kv: kv[1])
+        ]
+
+    @classmethod
+    def from_library_group(cls, library: LibertyGroup) -> "NldmTables":
+        """Build table stacks from a parsed ``library`` group.
+
+        Cells whose names do not map onto a :class:`GateKind` are
+        skipped (a real ``.lib`` carries flops, multi-drive variants
+        etc. the reproduction has no use for).  Within a cell, every
+        timing arc must carry identical tables -- the reproduction's
+        cells are input-symmetric -- otherwise a
+        :class:`~repro.liberty.parser.LibertyError` is raised, as it is
+        for mixed table grids across cells.
+        """
+        slew_axis = None
+        load_axis = None
+        templates = _template_axes(library)
+        per_cell: List[Tuple[GateKind, float, Dict[str, np.ndarray]]] = []
+        for cell_group in library.find_all("cell"):
+            try:
+                kind = GateKind(cell_group.name.lower())
+            except ValueError:
+                continue
+            cin, tables, axes = _extract_cell(cell_group, templates)
+            if slew_axis is None:
+                slew_axis, load_axis = axes
+            else:
+                if not (
+                    np.array_equal(slew_axis, axes[0])
+                    and np.array_equal(load_axis, axes[1])
+                ):
+                    raise LibertyError(
+                        f"cell {cell_group.name!r} uses a different table "
+                        "grid; shared axes are required"
+                    )
+            per_cell.append((kind, cin, tables))
+        if not per_cell:
+            raise LibertyError("no recognisable cells with NLDM tables")
+        kind_index = {kind: i for i, (kind, _, _) in enumerate(per_cell)}
+        if len(kind_index) != len(per_cell):
+            raise LibertyError("duplicate cell definitions for one gate kind")
+        stacks = {
+            table_kind: np.stack([tables[table_kind] for _, _, tables in per_cell])
+            for table_kind in TABLE_KINDS
+        }
+        cin_ref = np.array([cin for _, cin, _ in per_cell], dtype=float)
+        assert slew_axis is not None and load_axis is not None
+        return cls(slew_axis, load_axis, stacks, cin_ref, kind_index)
+
+
+def _template_axes(
+    library: LibertyGroup,
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Axes of every ``lu_table_template`` keyed by template name."""
+    axes: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for template in library.find_all("lu_table_template"):
+        var1 = template.attributes.get("variable_1", "input_net_transition")
+        var2 = template.attributes.get("variable_2", "total_output_net_capacitance")
+        if (
+            var1 != "input_net_transition"
+            or var2 != "total_output_net_capacitance"
+        ):
+            raise LibertyError(
+                f"template {template.name!r}: only (input_net_transition, "
+                "total_output_net_capacitance) tables are supported"
+            )
+        index_1 = template.complex_values("index_1")
+        index_2 = template.complex_values("index_2")
+        if index_1 is None or index_2 is None:
+            raise LibertyError(f"template {template.name!r} lacks index_1/2")
+        axes[template.name] = (
+            np.array(parse_number_list(index_1), dtype=float),
+            np.array(parse_number_list(index_2), dtype=float),
+        )
+    return axes
+
+
+def _table_from_group(
+    table_group: LibertyGroup,
+    templates: Dict[str, Tuple[np.ndarray, np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode one ``cell_rise (template) { ... }`` group to (slew, load, grid)."""
+    axes = templates.get(table_group.name)
+    index_1 = table_group.complex_values("index_1")
+    index_2 = table_group.complex_values("index_2")
+    if index_1 is not None and index_2 is not None:
+        slew_axis = np.array(parse_number_list(index_1), dtype=float)
+        load_axis = np.array(parse_number_list(index_2), dtype=float)
+    elif axes is not None:
+        slew_axis, load_axis = axes
+    else:
+        raise LibertyError(
+            f"table {table_group.kind!r} has no index_1/index_2 and no "
+            f"known template {table_group.name!r}"
+        )
+    values = table_group.complex_values("values")
+    if values is None:
+        raise LibertyError(f"table {table_group.kind!r} lacks values()")
+    flat = parse_number_list(values)
+    expected = slew_axis.size * load_axis.size
+    if len(flat) != expected:
+        raise LibertyError(
+            f"table {table_group.kind!r}: {len(flat)} values for a "
+            f"{slew_axis.size}x{load_axis.size} grid"
+        )
+    grid = np.array(flat, dtype=float).reshape(slew_axis.size, load_axis.size)
+    return slew_axis, load_axis, grid
+
+
+def _extract_cell(
+    cell_group: LibertyGroup,
+    templates: Dict[str, Tuple[np.ndarray, np.ndarray]],
+) -> Tuple[float, Dict[str, np.ndarray], Tuple[np.ndarray, np.ndarray]]:
+    """Pull (cin_ref, four tables, axes) out of one ``cell`` group."""
+    cin_ref = None
+    for pin in cell_group.find_all("pin"):
+        if pin.attributes.get("direction") == "input":
+            cap = pin.attributes.get("capacitance")
+            if cap is None:
+                raise LibertyError(
+                    f"cell {cell_group.name!r}: input pin {pin.name!r} "
+                    "lacks a capacitance attribute"
+                )
+            value = float(cap)
+            if cin_ref is None:
+                cin_ref = value
+            elif value != cin_ref:
+                raise LibertyError(
+                    f"cell {cell_group.name!r}: input pins disagree on "
+                    "capacitance; symmetric inputs are required"
+                )
+    if cin_ref is None:
+        raise LibertyError(f"cell {cell_group.name!r} has no input pins")
+
+    merged: Dict[str, np.ndarray] = {}
+    axes: Tuple[np.ndarray, np.ndarray] = None  # type: ignore[assignment]
+    n_arcs = 0
+    for pin in cell_group.find_all("pin"):
+        if pin.attributes.get("direction") != "output":
+            continue
+        for timing in pin.find_all("timing"):
+            n_arcs += 1
+            for table_kind in TABLE_KINDS:
+                table_group = timing.find(table_kind)
+                if table_group is None:
+                    raise LibertyError(
+                        f"cell {cell_group.name!r}: timing arc lacks "
+                        f"a {table_kind} table"
+                    )
+                slew_axis, load_axis, grid = _table_from_group(
+                    table_group, templates
+                )
+                if axes is None:
+                    axes = (slew_axis, load_axis)
+                elif not (
+                    np.array_equal(axes[0], slew_axis)
+                    and np.array_equal(axes[1], load_axis)
+                ):
+                    raise LibertyError(
+                        f"cell {cell_group.name!r}: arcs use different "
+                        "table grids"
+                    )
+                if table_kind in merged:
+                    if not np.array_equal(merged[table_kind], grid):
+                        raise LibertyError(
+                            f"cell {cell_group.name!r}: timing arcs carry "
+                            f"different {table_kind} tables; the backend "
+                            "requires input-symmetric cells"
+                        )
+                else:
+                    merged[table_kind] = grid
+    if n_arcs == 0:
+        raise LibertyError(f"cell {cell_group.name!r} has no timing arcs")
+    return cin_ref, merged, axes

@@ -11,15 +11,18 @@ flattens everything the eq. 1-3 math needs into numpy arrays once per
   a whole level with a handful of array ops);
 * **padded fan-in indices** per gate (CSR-like, ``max_fanin`` columns
   with a validity mask) pointing into the net row space;
-* **per-gate cell constants** of the delay model -- ``k``, the logical
-  weights, the parasitic coefficient, the inversion flag -- gathered
-  from the characterised library.
+* **per-gate cells** (and the generic inversion flags), from which the
+  library's delay backend folds its own per-gate constants -- the
+  analytic model's ``k``/logical-weight/parasitic arrays, or an NLDM
+  model's stacked table views -- via
+  :meth:`~repro.timing.backend.DelayBackend.compile_model`.
 
 Sizing is bound separately (:meth:`CompiledCircuit.bind`): per-gate
-``C_IN``, external loads and every derived sizing-only scalar (total
-load, Miller coupling factors) are cheap array refreshes, so one
-compiled structure serves every sizing of the same netlist -- exactly
-the :meth:`~repro.netlist.circuit.Circuit.structure_key` granularity the
+``C_IN`` and external loads are cheap array refreshes here, and every
+derived sizing-only quantity (total load, Miller coupling factors) is
+refreshed by the backend model's own ``bind`` -- so one compiled
+structure serves every sizing of the same netlist, exactly the
+:meth:`~repro.netlist.circuit.Circuit.structure_key` granularity the
 :class:`~repro.api.session.Session` caches on.
 
 Sizes and loads are resolved through the scalar engine's own kernels
@@ -35,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cells.cell import Cell
 from repro.cells.library import Library
 from repro.netlist.circuit import Circuit
 from repro.netlist.wireload import WireLoadModel
@@ -59,8 +63,12 @@ class CompiledCircuit:
         ``(start, end)`` gate-id slices, one per topological level.
     ``fanin_rows`` / ``fanin_mask``
         ``(n_gates, max_fanin)`` padded fan-in rows and validity mask.
-    ``inverting``
-        Per-gate polarity flip flag.
+    ``cells`` / ``inverting``
+        Per-gate characterised cell and polarity flip flag.
+    ``model``
+        The backend's :class:`~repro.timing.backend.BatchDelayModel`
+        for this structure; it owns every delay-model-specific array
+        (the analytic constants, or NLDM table stacks).
     """
 
     def __init__(
@@ -126,29 +134,23 @@ class CompiledCircuit:
                 self.fanin_rows[gate_id, slot] = self.row_of[source]
                 self.fanin_mask[gate_id, slot] = True
 
-        # -- per-gate cell constants -----------------------------------
-        self.k_ratio = np.empty(self.n_gates)
-        self.dw_hl = np.empty(self.n_gates)
-        self.dw_lh = np.empty(self.n_gates)
-        self.p_intrinsic = np.empty(self.n_gates)
+        # -- per-gate cells and generic polarity -----------------------
+        self.cells: Tuple[Cell, ...] = tuple(
+            library.cell(circuit.gates[name].kind) for name in self.names
+        )
         self.inverting = np.zeros(self.n_gates, dtype=bool)
-        for gate_id, name in enumerate(self.names):
-            cell = library.cell(circuit.gates[name].kind)
-            self.k_ratio[gate_id] = cell.k_ratio
-            self.dw_hl[gate_id] = cell.dw_hl
-            self.dw_lh[gate_id] = cell.dw_lh
-            self.p_intrinsic[gate_id] = cell.p_intrinsic
+        for gate_id, cell in enumerate(self.cells):
             self.inverting[gate_id] = cell.inverting
-
-        # Symmetry factor of the falling edge (eq. 3) is sizing- and
-        # corner-free: S_HL = DW_HL * (1 + k) / 2.  The rising edge picks
-        # up the perturbed R per corner, so the kernel builds it itself.
-        self.s_hl = self.dw_hl * (1.0 + self.k_ratio) / 2.0
 
         self.output_names: Tuple[str, ...] = tuple(circuit.outputs)
         self.output_rows = np.array(
             [self.row_of[net] for net in circuit.outputs], dtype=np.intp
         )
+
+        # The backend folds its per-gate constants (the analytic model's
+        # k/logical-weight/parasitic arrays, an NLDM model's table
+        # stacks) into arrays once per structure.
+        self.model = library.delay_backend.compile_model(self)
 
         self.bind(circuit)
 
@@ -192,19 +194,9 @@ class CompiledCircuit:
         )
         self.cin = np.array([sizes[name] for name in self.names])
         self.load = np.array([loads[name] for name in self.names])
-        # Total load (external + own junction parasitic), eq. 2's C_L:
-        # same operation order as delay_model.total_load.
-        self.cl_total = self.p_intrinsic * self.cin + self.load
-        # Miller coupling factors per switching-input polarity (eq. 1);
-        # cm follows Cell.coupling_cap's operation order exactly.
-        cm_rise = 0.5 * self.cin * self.k_ratio / (1.0 + self.k_ratio)
-        cm_fall = 0.5 * self.cin / (1.0 + self.k_ratio)
-        self.half_coupling_rise = 0.5 * (
-            1.0 + 2.0 * cm_rise / (cm_rise + self.cl_total)
-        )
-        self.half_coupling_fall = 0.5 * (
-            1.0 + 2.0 * cm_fall / (cm_fall + self.cl_total)
-        )
+        # Derived sizing-only quantities (total loads, coupling factors,
+        # effective table loads) belong to the backend model.
+        self.model.bind(self)
         return self
 
     def sizes_dict(self) -> Dict[str, float]:

@@ -37,9 +37,112 @@ import numpy as np
 from repro.cells.library import Library
 from repro.mc.compile import CompiledCircuit
 from repro.mc.corners import CornerSamples
+from repro.timing.backend import BatchDelayModel
 from repro.timing.delay_model import Edge, output_edge_for
-from repro.timing.evaluation import _check_sizes
+from repro.timing.evaluation import _check_sizes, path_delay_ps
 from repro.timing.path import BoundedPath
+
+
+class AnalyticBatchModel(BatchDelayModel):
+    """Batch surface of the analytic backend: the eq. 1-3 level loop.
+
+    The constructor folds the per-gate cell constants of the compiled
+    structure into arrays (written onto ``compiled`` itself -- the
+    cone-sparse probe engine shares them), :meth:`bind` refreshes the
+    sizing-derived ones, and :meth:`propagate` is the original
+    :func:`batch_analyze` level loop, moved verbatim so the bit-identity
+    contract above survives the backend seam untouched.
+    """
+
+    def __init__(self, compiled: CompiledCircuit) -> None:
+        n_gates = len(compiled.cells)
+        compiled.k_ratio = np.empty(n_gates)
+        compiled.dw_hl = np.empty(n_gates)
+        compiled.dw_lh = np.empty(n_gates)
+        compiled.p_intrinsic = np.empty(n_gates)
+        for gate_id, cell in enumerate(compiled.cells):
+            compiled.k_ratio[gate_id] = cell.k_ratio
+            compiled.dw_hl[gate_id] = cell.dw_hl
+            compiled.dw_lh[gate_id] = cell.dw_lh
+            compiled.p_intrinsic[gate_id] = cell.p_intrinsic
+        # Symmetry factor of the falling edge (eq. 3) is sizing- and
+        # corner-free: S_HL = DW_HL * (1 + k) / 2.  The rising edge picks
+        # up the perturbed R per corner, so propagate builds it itself.
+        compiled.s_hl = compiled.dw_hl * (1.0 + compiled.k_ratio) / 2.0
+
+    def bind(self, compiled: CompiledCircuit) -> None:
+        """Refresh the sizing-derived analytic arrays after a re-bind."""
+        # Total load (external + own junction parasitic), eq. 2's C_L:
+        # same operation order as delay_model.total_load.
+        compiled.cl_total = compiled.p_intrinsic * compiled.cin + compiled.load
+        # Miller coupling factors per switching-input polarity (eq. 1);
+        # cm follows Cell.coupling_cap's operation order exactly.
+        cm_rise = 0.5 * compiled.cin * compiled.k_ratio / (1.0 + compiled.k_ratio)
+        cm_fall = 0.5 * compiled.cin / (1.0 + compiled.k_ratio)
+        compiled.half_coupling_rise = 0.5 * (
+            1.0 + 2.0 * cm_rise / (cm_rise + compiled.cl_total)
+        )
+        compiled.half_coupling_fall = 0.5 * (
+            1.0 + 2.0 * cm_fall / (cm_fall + compiled.cl_total)
+        )
+
+    def propagate(
+        self,
+        compiled: CompiledCircuit,
+        corners: CornerSamples,
+        time_rise: np.ndarray,
+        time_fall: np.ndarray,
+        tran_rise: np.ndarray,
+        tran_fall: np.ndarray,
+    ) -> None:
+        """Run the eq. 1-3 level loop over every corner column."""
+        n_in = compiled.n_inputs
+        tau = corners.tau_ps
+        r = corners.r_ratio
+        # Half input-slope weights of eq. 1 per switching-input polarity:
+        # the scalar kernel computes (0.5 * v_T) * t_in in that order.
+        hv_rise = 0.5 * corners.vtn_reduced
+        hv_fall = 0.5 * corners.vtp_reduced
+        neg_inf = -np.inf
+
+        for start, end in compiled.levels:
+            k = compiled.k_ratio[start:end, None]
+            cl = compiled.cl_total[start:end, None]
+            cin = compiled.cin[start:end, None]
+            inv = compiled.inverting[start:end, None]
+
+            # Eq. 3 rising-edge symmetry factor with the corner's R, and
+            # the eq. 2 transitions for both output edges (operation
+            # order of Cell.s_lh / output_transition_time preserved).
+            s_lh = compiled.dw_lh[start:end, None] * (r[None, :] / k) * (1.0 + k) / 2.0
+            tout_rise = s_lh * tau[None, :] * cl / cin
+            tout_fall = compiled.s_hl[start:end, None] * tau[None, :] * cl / cin
+
+            # Load/coupling contribution of eq. 1 per *input* polarity: a
+            # rising input drives the falling output of an inverting cell.
+            b_rise = compiled.half_coupling_rise[start:end, None] * np.where(
+                inv, tout_fall, tout_rise
+            )
+            b_fall = compiled.half_coupling_fall[start:end, None] * np.where(
+                inv, tout_rise, tout_fall
+            )
+
+            rows = compiled.fanin_rows[start:end]
+            mask = compiled.fanin_mask[start:end, :, None]
+
+            delay = hv_rise[None, None, :] * tran_rise[rows] + b_rise[:, None, :]
+            cand = time_rise[rows] + delay
+            m_rise = np.max(np.where(mask, cand, neg_inf), axis=1)
+
+            delay = hv_fall[None, None, :] * tran_fall[rows] + b_fall[:, None, :]
+            cand = time_fall[rows] + delay
+            m_fall = np.max(np.where(mask, cand, neg_inf), axis=1)
+
+            out = slice(n_in + start, n_in + end)
+            time_rise[out] = np.where(inv, m_fall, m_rise)
+            time_fall[out] = np.where(inv, m_rise, m_fall)
+            tran_rise[out] = tout_rise
+            tran_fall[out] = tout_fall
 
 
 @dataclass(frozen=True)
@@ -112,52 +215,9 @@ def batch_analyze(
     tran_rise[:n_in] = compiled.input_transition_ps
     tran_fall[:n_in] = compiled.input_transition_ps
 
-    tau = corners.tau_ps
-    r = corners.r_ratio
-    # Half input-slope weights of eq. 1 per switching-input polarity:
-    # the scalar kernel computes (0.5 * v_T) * t_in in that order.
-    hv_rise = 0.5 * corners.vtn_reduced
-    hv_fall = 0.5 * corners.vtp_reduced
-    neg_inf = -np.inf
-
-    for start, end in compiled.levels:
-        k = compiled.k_ratio[start:end, None]
-        cl = compiled.cl_total[start:end, None]
-        cin = compiled.cin[start:end, None]
-        inv = compiled.inverting[start:end, None]
-
-        # Eq. 3 rising-edge symmetry factor with the corner's R, and the
-        # eq. 2 transitions for both output edges (operation order of
-        # Cell.s_lh / output_transition_time preserved).
-        s_lh = compiled.dw_lh[start:end, None] * (r[None, :] / k) * (1.0 + k) / 2.0
-        tout_rise = s_lh * tau[None, :] * cl / cin
-        tout_fall = compiled.s_hl[start:end, None] * tau[None, :] * cl / cin
-
-        # Load/coupling contribution of eq. 1 per *input* polarity: a
-        # rising input drives the falling output of an inverting cell.
-        b_rise = compiled.half_coupling_rise[start:end, None] * np.where(
-            inv, tout_fall, tout_rise
-        )
-        b_fall = compiled.half_coupling_fall[start:end, None] * np.where(
-            inv, tout_rise, tout_fall
-        )
-
-        rows = compiled.fanin_rows[start:end]
-        mask = compiled.fanin_mask[start:end, :, None]
-
-        delay = hv_rise[None, None, :] * tran_rise[rows] + b_rise[:, None, :]
-        cand = time_rise[rows] + delay
-        m_rise = np.max(np.where(mask, cand, neg_inf), axis=1)
-
-        delay = hv_fall[None, None, :] * tran_fall[rows] + b_fall[:, None, :]
-        cand = time_fall[rows] + delay
-        m_fall = np.max(np.where(mask, cand, neg_inf), axis=1)
-
-        out = slice(n_in + start, n_in + end)
-        time_rise[out] = np.where(inv, m_fall, m_rise)
-        time_fall[out] = np.where(inv, m_rise, m_fall)
-        tran_rise[out] = tout_rise
-        tran_fall[out] = tout_fall
+    compiled.model.propagate(
+        compiled, corners, time_rise, time_fall, tran_rise, tran_fall
+    )
 
     rows = compiled.output_rows
     critical = np.max(
@@ -189,8 +249,17 @@ def batch_path_delays(
     evaluation uses, in the same operation order -- so the corner ``i``
     column equals a scalar re-evaluation under ``corners.technology_at(i)``
     bit for bit.
+
+    Backends without exact corner support (NLDM tables, whose arcs are
+    characterised at one process point) approximate corner ``i`` as the
+    nominal backend delay scaled by the global speed ratio
+    ``tau_i / tau_nominal`` -- exact at the nominal corner, first-order
+    elsewhere (see ``capabilities.exact_corners``).
     """
     arr = _check_sizes(path, sizes)
+    if not library.delay_backend.capabilities.exact_corners:
+        nominal = path_delay_ps(path, arr, library)
+        return np.asarray(nominal * (corners.tau_ps / library.tech.tau_ps))
     tau = corners.tau_ps
     r = corners.r_ratio
     vt_rise = corners.vtn_reduced

@@ -22,11 +22,12 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cells.library import Library
+from repro.timing.delay_model import Edge, GateTiming
 from repro.timing.evaluation import (
     delay_gradient,
     effective_a_coeffs,
@@ -130,7 +131,14 @@ def _link_equation_sweep(
     passing area weights yields the KKT-exact minimum-``sum W`` variant).
     Stages flagged in ``frozen`` keep their current size (used by the
     local buffer-insertion mode, which sizes only the inserted buffers).
+
+    Backends without closed-form bounds (NLDM tables) take the numeric
+    twin :func:`_numeric_link_sweep`: the same Gauss-Seidel update, but
+    each stage's stationarity condition is solved by a bracketed root
+    search on the windowed delay derivative instead of eq. 4.
     """
+    if not library.delay_backend.capabilities.closed_form_bounds:
+        return _numeric_link_sweep(path, sizes, library, sensitivity, area_weights, frozen)
     n = len(path)
     out = sizes.copy()
     coeffs = effective_a_coeffs(path, out, library)
@@ -149,6 +157,151 @@ def _link_equation_sweep(
         out[i] = max(
             np.sqrt(target_sq), path.stages[i].cell.cin_min(library.tech)
         )
+    return out
+
+
+def _stage_timing(
+    path: BoundedPath,
+    sizes: np.ndarray,
+    library: Library,
+    i: int,
+    tin_ps: float,
+    edge: Edge,
+) -> GateTiming:
+    """One stage's backend timing under the current sweep sizing."""
+    stage = path.stages[i]
+    downstream = sizes[i + 1] if i + 1 < len(path) else path.cterm_ff
+    return library.delay_backend.gate_timing(
+        stage.cell,
+        library.tech,
+        float(sizes[i]),
+        float(stage.cside_ff + downstream),
+        tin_ps,
+        edge,
+    )
+
+
+def _numeric_link_root(
+    window: Callable[[float], float],
+    cin_min: float,
+    c_start: float,
+    target: float,
+) -> float:
+    """Smallest drive where the windowed delay derivative reaches ``target``.
+
+    Solves ``d(window)/dc = target`` (``target = a * w_i <= 0``) with a
+    central-difference derivative and an Illinois-damped regula falsi on
+    the bracketed sign change; the derivative is non-decreasing for any
+    sane delay table (the windowed delay is convex-ish in the drive), so
+    the bracket expansion upward from the warm start always terminates.
+    """
+
+    def g(c: float) -> float:
+        h = max(c * 1e-6, 1e-9)
+        return (window(c + h) - window(c - h)) / (2.0 * h) - target
+
+    g_lo = g(cin_min)
+    if g_lo >= 0.0:
+        # Already no faster than the target slope at the floor: collapse
+        # to minimum drive, mirroring the closed-form branch.
+        return cin_min
+    lo, hi = cin_min, max(c_start, 2.0 * cin_min)
+    g_hi = g(hi)
+    expansions = 0
+    while g_hi < 0.0:
+        if expansions >= 60:
+            return hi
+        lo, g_lo = hi, g_hi
+        hi *= 2.0
+        g_hi = g(hi)
+        expansions += 1
+    for _ in range(80):
+        if hi - lo <= 1e-7 * hi:
+            break
+        mid = (lo * g_hi - hi * g_lo) / (g_hi - g_lo)
+        if not lo < mid < hi:
+            mid = 0.5 * (lo + hi)
+        g_mid = g(mid)
+        if g_mid == 0.0:
+            return mid
+        if g_mid < 0.0:
+            lo, g_lo = mid, g_mid
+            g_hi *= 0.5
+        else:
+            hi, g_hi = mid, g_mid
+            g_lo *= 0.5
+    return 0.5 * (lo + hi)
+
+
+def _numeric_link_sweep(
+    path: BoundedPath,
+    sizes: np.ndarray,
+    library: Library,
+    sensitivity: float = 0.0,
+    area_weights: Optional[np.ndarray] = None,
+    frozen: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Numeric Gauss-Seidel sweep for backends without closed-form bounds.
+
+    Each free stage ``i`` is moved to the drive where the derivative of
+    the three-stage windowed delay (stages ``i-1 .. i+1`` -- every term
+    of the path delay that depends on ``C_IN(i)`` when output
+    transitions are slew-independent, and a tight truncation otherwise)
+    equals ``a * w_i``.  Entry transitions/polarities into the window
+    come from a forward chain refreshed incrementally as the sweep
+    rewrites sizes, exactly the Gauss-Seidel discipline of the
+    closed-form sweep.  Fixed points therefore satisfy the same
+    stationarity conditions eq. 4 / eq. 6 encode, evaluated through the
+    backend's own tables.
+    """
+    n = len(path)
+    out = sizes.copy()
+    out[0] = path.cin_first_ff
+    tech = library.tech
+
+    tins = np.empty(n)
+    edges: List[Edge] = []
+    tin = path.tin_first_ps
+    edge = path.input_edge
+    for i in range(n):
+        tins[i] = tin
+        edges.append(edge)
+        timing = _stage_timing(path, out, library, i, tin, edge)
+        tin = timing.tout_ps
+        edge = timing.output_edge
+
+    for i in range(1, n):
+        if frozen is not None and frozen[i]:
+            continue
+        w_i = 1.0 if area_weights is None else area_weights[i]
+        target = sensitivity * w_i
+        cin_min = path.stages[i].cell.cin_min(tech)
+        i0 = i - 1
+        i1 = min(i + 1, n - 1)
+
+        def window(c: float, i: int = i, i0: int = i0, i1: int = i1) -> float:
+            saved = out[i]
+            out[i] = c
+            try:
+                total = 0.0
+                tin_w = float(tins[i0])
+                edge_w = edges[i0]
+                for j in range(i0, i1 + 1):
+                    timing = _stage_timing(path, out, library, j, tin_w, edge_w)
+                    total += timing.delay_ps
+                    tin_w = timing.tout_ps
+                    edge_w = timing.output_edge
+                return total
+            finally:
+                out[i] = saved
+
+        out[i] = _numeric_link_root(window, cin_min, float(out[i]), target)
+        # The new size shifted stage i-1's load and stage i's drive:
+        # refresh the entry transitions downstream of the edit.
+        for j in (i - 1, i):
+            timing = _stage_timing(path, out, library, j, float(tins[j]), edges[j])
+            if j + 1 < n:
+                tins[j + 1] = timing.tout_ps
     return out
 
 
@@ -239,9 +392,20 @@ def min_delay_bound(
         raise ValueError("cref_ff must be positive")
     n = len(path)
     cref_lib = library.cref
+    closed_form = library.delay_backend.capabilities.closed_form_bounds
+    if not closed_form:
+        # Numeric sweeps cost a root search per stage; cap the fixed
+        # point accordingly (it converges geometrically and the polish
+        # certifies stationarity on the exact backend delay anyway).
+        max_iterations = min(max_iterations, 60)
+        tol_ps = max(tol_ps, 1e-5)
 
     if start_sizes is not None:
         sizes = path.clamp_sizes(start_sizes, library)
+    elif not closed_form:
+        # No eq. 4 coefficients to seed from: start the numeric fixed
+        # point at the minimum-drive corner.
+        sizes = path.min_sizes(library)
     else:
         # Backward initial pass: local eq. 4 solutions with C_IN(i-1) = cref.
         sizes = path.min_sizes(library)

@@ -67,6 +67,7 @@ from repro.mc.compile import CompiledCircuit
 from repro.mc.corners import nominal_corners
 from repro.netlist.circuit import Circuit
 from repro.netlist.wireload import WireLoadModel
+from repro.timing.backend import ProbeDelayModel
 from repro.timing.delay_model import coupling_factor
 from repro.timing.sta import gate_external_load
 
@@ -159,15 +160,6 @@ class BatchProbeEngine:
             wire_model=wire_model,
         )
         comp = self.compiled
-        tech = library.tech
-        self._tau = tech.tau_ps
-        self._hv_rise = 0.5 * tech.vtn_reduced
-        self._hv_fall = 0.5 * tech.vtp_reduced
-        # Nominal rising-edge symmetry factor per gate (eq. 3), the
-        # scalar Cell.s_lh operation order with the nominal R.
-        self._s_lh = (
-            comp.dw_lh * (tech.r_ratio / comp.k_ratio) * (1.0 + comp.k_ratio) / 2.0
-        )
         self._gate_id: Dict[str, int] = {
             name: comp.row_of[name] - comp.n_inputs for name in comp.names
         }
@@ -194,6 +186,10 @@ class BatchProbeEngine:
         self._cones: Dict[Tuple[str, int], np.ndarray] = {}
         self._all_gates = np.arange(comp.n_gates, dtype=np.intp)
         self._bound_state_key: Optional[Tuple] = None
+        # Every delay-model float -- per-pair parameters, the group
+        # evaluation, trial-pair chaining -- lives in the backend's
+        # probe model; the engine owns only the generic machinery.
+        self.model = library.delay_backend.probe_model(self)
         self.bind(circuit)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -226,22 +222,8 @@ class BatchProbeEngine:
         self._base_tran_rise = base.tran_rise[:, 0].copy()
         self._base_tran_fall = base.tran_fall[:, 0].copy()
         self.critical_delay_base_ps = float(base.critical_delay_ps[0])
-        n_in = comp.n_inputs
-        # Per-gate eq. 2 transitions at the bound sizing are exactly the
-        # gate rows of the base transition annotation.
-        self._tout_rise = self._base_tran_rise[n_in:]
-        self._tout_fall = self._base_tran_fall[n_in:]
-        inv = comp.inverting
-        # Load/coupling term of eq. 1 per switching-input polarity (a
-        # rising input drives the falling output of an inverting cell),
-        # the mc kernel's ``b`` arrays at the nominal corner.
-        self._b_rise = comp.half_coupling_rise * np.where(
-            inv, self._tout_fall, self._tout_rise
-        )
-        self._b_fall = comp.half_coupling_fall * np.where(
-            inv, self._tout_rise, self._tout_fall
-        )
         self._sizes = comp.sizes_dict()
+        self.model.bind(self)
         self._bound_state_key = state_key
         return self
 
@@ -402,30 +384,6 @@ class BatchProbeEngine:
         cone = np.concatenate([over_arr, rest])
         return _Column(cone, len(over_ids), over_cin, over_load, pair_load_b)
 
-    def _override_params(
-        self, gids: np.ndarray, cin: np.ndarray, load: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Eq. 1-3 per-gate terms for overridden (size, load) pairs.
-
-        Operation order matches :meth:`CompiledCircuit.bind` plus the
-        mc kernel's per-level arithmetic exactly, which is what keeps an
-        overridden gate's recomputed cell bit-identical to the scalar
-        engine's ``propagate_gate`` on the edited circuit.
-        """
-        comp = self.compiled
-        k = comp.k_ratio[gids]
-        inv = comp.inverting[gids]
-        cl = comp.p_intrinsic[gids] * cin + load
-        tout_rise = self._s_lh[gids] * self._tau * cl / cin
-        tout_fall = comp.s_hl[gids] * self._tau * cl / cin
-        cm_rise = 0.5 * cin * k / (1.0 + k)
-        cm_fall = 0.5 * cin / (1.0 + k)
-        half_rise = 0.5 * (1.0 + 2.0 * cm_rise / (cm_rise + cl))
-        half_fall = 0.5 * (1.0 + 2.0 * cm_fall / (cm_fall + cl))
-        b_rise = half_rise * np.where(inv, tout_fall, tout_rise)
-        b_fall = half_fall * np.where(inv, tout_rise, tout_fall)
-        return tout_rise, tout_fall, b_rise, b_fall
-
     def _run(
         self, columns: List[_Column], pair_cin: Optional[float]
     ) -> np.ndarray:
@@ -451,10 +409,6 @@ class BatchProbeEngine:
         pair_c = np.concatenate(
             [np.full(len(c.cone), j, dtype=np.intp) for j, c in enumerate(columns)]
         )
-        to_r = self._tout_rise[pair_g].copy()
-        to_f = self._tout_fall[pair_g].copy()
-        b_r = self._b_rise[pair_g].copy()
-        b_f = self._b_fall[pair_g].copy()
         is_root = np.zeros(len(pair_g), dtype=bool)
         load_b_pair = np.zeros(len(pair_g))
 
@@ -462,14 +416,9 @@ class BatchProbeEngine:
         over_pos = np.concatenate(
             [off + np.arange(c.n_over) for off, c in zip(offsets, columns)]
         )
-        over_g = pair_g[over_pos]
         over_cin = np.concatenate([c.over_cin for c in columns])
         over_load = np.concatenate([c.over_load for c in columns])
-        o_tr, o_tf, o_br, o_bf = self._override_params(over_g, over_cin, over_load)
-        to_r[over_pos] = o_tr
-        to_f[over_pos] = o_tf
-        b_r[over_pos] = o_br
-        b_f[over_pos] = o_bf
+        params = self.model.chunk_params(pair_g, over_pos, over_cin, over_load)
         for off, c in zip(offsets, columns):
             if c.pair_load_b is not None:
                 is_root[off] = True
@@ -478,10 +427,7 @@ class BatchProbeEngine:
         order = np.argsort(self._level_of[pair_g], kind="stable")
         pair_g = pair_g[order]
         pair_c = pair_c[order]
-        to_r = to_r[order]
-        to_f = to_f[order]
-        b_r = b_r[order]
-        b_f = b_f[order]
+        params = tuple(p[order] for p in params)
         is_root = is_root[order]
         load_b_pair = load_b_pair[order]
         lv_sorted = self._level_of[pair_g]
@@ -495,10 +441,7 @@ class BatchProbeEngine:
         tran_fall = np.repeat(self._base_tran_fall[:, None], n_cols, axis=1)
 
         if pair_cin is not None:
-            pair_consts = self._pair_constants(pair_cin)
-        hv_rise = self._hv_rise
-        hv_fall = self._hv_fall
-        neg_inf = -np.inf
+            pair_consts = self.model.pair_constants(pair_cin)
 
         for gs, ge in zip(group_starts, group_ends):
             g = pair_g[gs:ge]
@@ -507,25 +450,25 @@ class BatchProbeEngine:
             mask = comp.fanin_mask[g]
             cc = c[:, None]
 
-            delay = hv_rise * tran_rise[rows, cc] + b_r[gs:ge, None]
-            cand = time_rise[rows, cc] + delay
-            m_rise = np.max(np.where(mask, cand, neg_inf), axis=1)
-
-            delay = hv_fall * tran_fall[rows, cc] + b_f[gs:ge, None]
-            cand = time_fall[rows, cc] + delay
-            m_fall = np.max(np.where(mask, cand, neg_inf), axis=1)
-
-            inv = comp.inverting[g]
-            t_rise = np.where(inv, m_fall, m_rise)
-            t_fall = np.where(inv, m_rise, m_fall)
-            tr_rise = to_r[gs:ge].copy()
-            tr_fall = to_f[gs:ge].copy()
+            t_rise, t_fall, tr_rise, tr_fall = self.model.eval_group(
+                params,
+                gs,
+                ge,
+                g,
+                rows,
+                mask,
+                cc,
+                time_rise,
+                time_fall,
+                tran_rise,
+                tran_fall,
+            )
 
             roots = is_root[gs:ge]
             if roots.any():
                 bi = np.nonzero(roots)[0]
                 t_rise[bi], t_fall[bi], tr_rise[bi], tr_fall[bi] = (
-                    self._through_pair(
+                    self.model.through_pair(
                         pair_consts,
                         t_rise[bi],
                         t_fall[bi],
@@ -546,21 +489,145 @@ class BatchProbeEngine:
             np.maximum(time_rise[rows], time_fall[rows]), axis=0
         )
 
-    def _pair_constants(self, pair_cin: float) -> Tuple[float, ...]:
+
+class AnalyticProbeModel(ProbeDelayModel):
+    """Probe surface of the analytic backend: the eq. 1-3 pair math.
+
+    Everything here moved verbatim from the pre-seam engine -- the
+    per-pair transition/coupling parameters, the per-level group
+    evaluation and the trial-pair chaining -- so the analytic engine
+    through the seam reproduces the scalar ``IncrementalSta`` probe loop
+    bit for bit, exactly as before.
+    """
+
+    def __init__(self, engine: BatchProbeEngine) -> None:
+        self._engine = engine
+        comp = engine.compiled
+        tech = engine.library.tech
+        self._tau = tech.tau_ps
+        self._hv_rise = 0.5 * tech.vtn_reduced
+        self._hv_fall = 0.5 * tech.vtp_reduced
+        # Nominal rising-edge symmetry factor per gate (eq. 3), the
+        # scalar Cell.s_lh operation order with the nominal R.
+        self._s_lh = (
+            comp.dw_lh * (tech.r_ratio / comp.k_ratio) * (1.0 + comp.k_ratio) / 2.0
+        )
+
+    def bind(self, engine: BatchProbeEngine) -> None:
+        """Capture the per-gate eq. 1-3 base terms of the bound sizing."""
+        comp = engine.compiled
+        n_in = comp.n_inputs
+        # Per-gate eq. 2 transitions at the bound sizing are exactly the
+        # gate rows of the base transition annotation.
+        self._tout_rise = engine._base_tran_rise[n_in:]
+        self._tout_fall = engine._base_tran_fall[n_in:]
+        inv = comp.inverting
+        # Load/coupling term of eq. 1 per switching-input polarity (a
+        # rising input drives the falling output of an inverting cell),
+        # the mc kernel's ``b`` arrays at the nominal corner.
+        self._b_rise = comp.half_coupling_rise * np.where(
+            inv, self._tout_fall, self._tout_rise
+        )
+        self._b_fall = comp.half_coupling_fall * np.where(
+            inv, self._tout_rise, self._tout_fall
+        )
+
+    def chunk_params(
+        self,
+        pair_g: np.ndarray,
+        over_pos: np.ndarray,
+        over_cin: np.ndarray,
+        over_load: np.ndarray,
+    ) -> Tuple[np.ndarray, ...]:
+        """Gather base pair terms, then scatter the overridden gates'."""
+        to_r = self._tout_rise[pair_g].copy()
+        to_f = self._tout_fall[pair_g].copy()
+        b_r = self._b_rise[pair_g].copy()
+        b_f = self._b_fall[pair_g].copy()
+        o_tr, o_tf, o_br, o_bf = self._override_params(
+            pair_g[over_pos], over_cin, over_load
+        )
+        to_r[over_pos] = o_tr
+        to_f[over_pos] = o_tf
+        b_r[over_pos] = o_br
+        b_f[over_pos] = o_bf
+        return (to_r, to_f, b_r, b_f)
+
+    def _override_params(
+        self, gids: np.ndarray, cin: np.ndarray, load: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Eq. 1-3 per-gate terms for overridden (size, load) pairs.
+
+        Operation order matches :meth:`CompiledCircuit.bind` plus the
+        mc kernel's per-level arithmetic exactly, which is what keeps an
+        overridden gate's recomputed cell bit-identical to the scalar
+        engine's ``propagate_gate`` on the edited circuit.
+        """
+        comp = self._engine.compiled
+        k = comp.k_ratio[gids]
+        inv = comp.inverting[gids]
+        cl = comp.p_intrinsic[gids] * cin + load
+        tout_rise = self._s_lh[gids] * self._tau * cl / cin
+        tout_fall = comp.s_hl[gids] * self._tau * cl / cin
+        cm_rise = 0.5 * cin * k / (1.0 + k)
+        cm_fall = 0.5 * cin / (1.0 + k)
+        half_rise = 0.5 * (1.0 + 2.0 * cm_rise / (cm_rise + cl))
+        half_fall = 0.5 * (1.0 + 2.0 * cm_fall / (cm_fall + cl))
+        b_rise = half_rise * np.where(inv, tout_fall, tout_rise)
+        b_fall = half_fall * np.where(inv, tout_rise, tout_fall)
+        return tout_rise, tout_fall, b_rise, b_fall
+
+    def eval_group(
+        self,
+        params: Tuple[np.ndarray, ...],
+        gs: int,
+        ge: int,
+        g: np.ndarray,
+        rows: np.ndarray,
+        mask: np.ndarray,
+        cc: np.ndarray,
+        time_rise: np.ndarray,
+        time_fall: np.ndarray,
+        tran_rise: np.ndarray,
+        tran_fall: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Eq. 1 arrivals of one level group (mc kernel op order)."""
+        to_r, to_f, b_r, b_f = params
+        hv_rise = self._hv_rise
+        hv_fall = self._hv_fall
+        neg_inf = -np.inf
+
+        delay = hv_rise * tran_rise[rows, cc] + b_r[gs:ge, None]
+        cand = time_rise[rows, cc] + delay
+        m_rise = np.max(np.where(mask, cand, neg_inf), axis=1)
+
+        delay = hv_fall * tran_fall[rows, cc] + b_f[gs:ge, None]
+        cand = time_fall[rows, cc] + delay
+        m_fall = np.max(np.where(mask, cand, neg_inf), axis=1)
+
+        inv = self._engine.compiled.inverting[g]
+        t_rise = np.where(inv, m_fall, m_rise)
+        t_fall = np.where(inv, m_rise, m_fall)
+        tr_rise = to_r[gs:ge].copy()
+        tr_fall = to_f[gs:ge].copy()
+        return t_rise, t_fall, tr_rise, tr_fall
+
+    def pair_constants(self, pair_cin: float) -> Tuple[float, ...]:
         """Scalar eq. 1-3 terms of the trial pair's first inverter.
 
         The first inverter's load (the second inverter plus wire) is the
         same in every column, so its transitions and eq. 1 ``b`` terms
         are plain scalars, computed by the scalar model's own helpers.
         """
-        cell = self.library.cell(GateKind.INV)
-        tech = self.library.tech
+        engine = self._engine
+        cell = engine.library.cell(GateKind.INV)
+        tech = engine.library.tech
         load_a = gate_external_load(
             ("__bufb__",),
             {"__bufb__": pair_cin},
             False,
-            self.compiled.output_load_ff,
-            self.compiled.wire_model,
+            engine.compiled.output_load_ff,
+            engine.compiled.wire_model,
         )
         cl_a = cell.parasitic_cap(pair_cin) + load_a
         tout_a_rise = cell.s_lh(tech) * tech.tau_ps * cl_a / pair_cin
@@ -583,7 +650,7 @@ class BatchProbeEngine:
             b_a_fall,
         )
 
-    def _through_pair(
+    def through_pair(
         self,
         consts: Tuple[float, ...],
         t_rise_g: np.ndarray,

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.cells.library import Library
 from repro.netlist.circuit import Circuit
-from repro.timing.delay_model import Edge, gate_delay
+from repro.timing.delay_model import Edge
 from repro.timing.evaluation import evaluate_path
 from repro.timing.path import BoundedPath, PathStage
 from repro.timing.sta import StaResult, analyze, external_loads, gate_sizes
@@ -125,6 +125,7 @@ def _reverse_potentials(
     """
     fanout = circuit.fanout_map()
     output_set = set(circuit.outputs)
+    backend = library.delay_backend
     potential: Dict[Tuple[str, Edge], float] = {}
     order = circuit.topological_order()
     all_nets = list(circuit.inputs) + order
@@ -135,7 +136,7 @@ def _reverse_potentials(
             for succ in fanout.get(net, ()):
                 gate = circuit.gates[succ]
                 cell = library.cell(gate.kind)
-                timing = gate_delay(
+                timing = backend.gate_timing(
                     cell, library.tech, sizes[succ], loads[succ], slew, edge
                 )
                 downstream = potential.get((succ, timing.output_edge))
@@ -198,6 +199,7 @@ def k_critical_paths(
 
     fanout = circuit.fanout_map()
     output_set = set(circuit.outputs)
+    backend = library.delay_backend
     results: List[ExtractedPath] = []
     seen_paths: set = set()
     expansions = 0
@@ -235,7 +237,9 @@ def k_critical_paths(
         for succ in fanout.get(net, ()):
             gate = circuit.gates[succ]
             cell = library.cell(gate.kind)
-            timing = gate_delay(cell, library.tech, sizes[succ], loads[succ], slew, edge)
+            timing = backend.gate_timing(
+                cell, library.tech, sizes[succ], loads[succ], slew, edge
+            )
             pot = potential.get((succ, timing.output_edge))
             if pot is None and succ not in output_set:
                 continue

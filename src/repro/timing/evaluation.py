@@ -23,12 +23,13 @@ sizing) are computed once per (path, technology) pair and cached.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.cells.library import Library
 from repro.process.technology import Technology
+from repro.timing.backend import AnalyticBackend, DelayBackend
 from repro.timing.delay_model import Edge, output_edge_for
 from repro.timing.path import BoundedPath
 
@@ -150,8 +151,16 @@ def evaluate_path(path: BoundedPath, sizes: Sequence[float], library: Library) -
 
     ``sizes[0]`` is forced to the path's fixed first drive; interior sizes
     are used as given (callers clamp to CREF beforehand when needed).
+
+    Non-analytic backends take the generic chain (one scalar
+    :meth:`~repro.timing.backend.DelayBackend.gate_timing` call per
+    stage); the analytic fast path below is byte-for-byte the
+    pre-backend code, so default-library results are bit-identical.
     """
     arr = _check_sizes(path, sizes)
+    backend = library.delay_backend
+    if not isinstance(backend, AnalyticBackend):
+        return _backend_evaluate_path(path, arr, library, backend)
     k = _constants(path, library.tech)
     n = len(path)
 
@@ -182,6 +191,9 @@ def evaluate_path(path: BoundedPath, sizes: Sequence[float], library: Library) -
 def path_delay_ps(path: BoundedPath, sizes: Sequence[float], library: Library) -> float:
     """Total path delay (ps) -- the optimizers' hot loop."""
     arr = _check_sizes(path, sizes)
+    backend = library.delay_backend
+    if not isinstance(backend, AnalyticBackend):
+        return _backend_path_delay(path, arr, library, backend)
     k = _constants(path, library.tech)
     n = len(path)
     total = 0.0
@@ -194,6 +206,73 @@ def path_delay_ps(path: BoundedPath, sizes: Sequence[float], library: Library) -
         cm = k.m[i] * c
         total += 0.5 * k.vt[i] * tin + 0.5 * (1.0 + 2.0 * cm / (cm + cl)) * tout
         tin = tout
+    return total
+
+
+def _backend_evaluate_path(
+    path: BoundedPath, arr: np.ndarray, library: Library, backend: DelayBackend
+) -> PathTiming:
+    """Generic backend chain behind :func:`evaluate_path`.
+
+    Walks the path stage by stage through the backend's scalar kernel,
+    threading the output transition and polarity of each stage into the
+    next -- exactly the arc chaining :func:`~repro.timing.sta.analyze`
+    performs on a linear circuit, so path and circuit views of the same
+    chain agree for every backend.
+    """
+    tech = library.tech
+    n = len(path)
+    delays: List[float] = []
+    touts: List[float] = []
+    loads_total: List[float] = []
+    edges: List[Edge] = []
+    tin = path.tin_first_ps
+    edge = path.input_edge
+    for i in range(n):
+        stage = path.stages[i]
+        downstream = arr[i + 1] if i + 1 < n else path.cterm_ff
+        ext = stage.cside_ff + downstream
+        timing = backend.gate_timing(
+            stage.cell, tech, float(arr[i]), float(ext), tin, edge
+        )
+        delays.append(timing.delay_ps)
+        touts.append(timing.tout_ps)
+        loads_total.append(stage.cell.parasitic_cap(float(arr[i])) + float(ext))
+        edges.append(edge)
+        tin = timing.tout_ps
+        edge = timing.output_edge
+    return PathTiming(
+        total_delay_ps=float(sum(delays)),
+        stage_delays_ps=tuple(delays),
+        stage_tout_ps=tuple(touts),
+        stage_loads_ff=tuple(loads_total),
+        edges=tuple(edges),
+    )
+
+
+def _backend_path_delay(
+    path: BoundedPath, arr: np.ndarray, library: Library, backend: DelayBackend
+) -> float:
+    """Total-delay-only variant of :func:`_backend_evaluate_path`."""
+    tech = library.tech
+    n = len(path)
+    total = 0.0
+    tin = path.tin_first_ps
+    edge = path.input_edge
+    for i in range(n):
+        stage = path.stages[i]
+        downstream = arr[i + 1] if i + 1 < n else path.cterm_ff
+        timing = backend.gate_timing(
+            stage.cell,
+            tech,
+            float(arr[i]),
+            float(stage.cside_ff + downstream),
+            tin,
+            edge,
+        )
+        total += timing.delay_ps
+        tin = timing.tout_ps
+        edge = timing.output_edge
     return total
 
 
@@ -224,6 +303,11 @@ def effective_a_coeffs(
 
     The ``A_i`` depend (weakly) on the sizing through ``K_i``; the eq. 4 /
     eq. 6 solvers therefore recompute them every sweep (Gauss-Seidel).
+
+    Analytic-model-only: the coefficients *are* eq. 1-3 quantities, so
+    there is nothing to evaluate for a table backend.  Callers gate on
+    ``library.delay_backend.capabilities.closed_form_bounds`` and fall
+    back to the numeric link sweep of :mod:`repro.sizing.bounds`.
     """
     arr = np.asarray(sizes, dtype=float)
     k = _constants(path, library.tech)
@@ -252,8 +336,14 @@ def delay_gradient(
     terms of the transition times, the downstream slope contribution and
     the Miller coupling factor's own derivatives.  Component 0 is 0: the
     first drive is a fixed boundary condition, not a free variable.
+
+    The closed form differentiates eq. 1-3, so non-analytic backends
+    dispatch to the central-difference fallback (which itself routes
+    every evaluation through the backend's scalar kernel).
     """
     arr = _check_sizes(path, sizes)
+    if not isinstance(library.delay_backend, AnalyticBackend):
+        return delay_gradient_numeric(path, arr, library)
     k = _constants(path, library.tech)
     n = len(path)
 

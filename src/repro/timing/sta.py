@@ -16,7 +16,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.cells.library import Library
 from repro.netlist.circuit import Circuit, GateInstance
 from repro.netlist.wireload import WireLoadModel
-from repro.timing.delay_model import Edge, gate_delay
+from repro.timing.delay_model import Edge
 
 
 @dataclass(frozen=True)
@@ -130,14 +130,20 @@ def propagate_gate(
     by :func:`analyze` and :class:`~repro.timing.incremental.IncrementalSta`
     so a cone re-propagation reproduces the full run bit for bit
     (including the strict ``>`` tie-breaking and dict insertion order).
+    Each arc is timed through the library's delay backend; the analytic
+    backend delegates straight to
+    :func:`~repro.timing.delay_model.gate_delay`, keeping the default
+    stack bit-identical to the pre-backend code.
     """
     cell = library.cell(gate.kind)
+    backend = library.delay_backend
+    tech = library.tech
     best: Dict[Edge, ArrivalEvent] = {}
     for source in gate.fanin:
         for in_edge, event in arrivals[source].items():
-            timing = gate_delay(
+            timing = backend.gate_timing(
                 cell,
-                library.tech,
+                tech,
                 size_ff,
                 load_ff,
                 event.transition_ps,
