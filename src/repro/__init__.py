@@ -28,7 +28,11 @@ Domain layers (see README for a tour):
 * :mod:`repro.baselines`      -- AMPS-like industrial-tool surrogate
 * :mod:`repro.spice`          -- transistor-level reference simulator
 * :mod:`repro.analysis`       -- area / power / activity analysis
+* :mod:`repro.obs`            -- tracing, metrics, run telemetry
+* :mod:`repro.serve`          -- multi-tenant optimization daemon
 """
+
+import logging as _logging
 
 from repro.api import Job, JobError, RunRecord, Session, SessionStats, SweepSpec
 from repro.cells.library import Library, default_library
@@ -36,6 +40,10 @@ from repro.iscas.loader import benchmark_names, load_benchmark
 from repro.netlist.circuit import Circuit
 
 __version__ = "1.1.0"
+
+# Library convention: never emit log records unless the application
+# configures logging.  Opt in with e.g. ``pops serve --log-level info``.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __all__ = [
     "__version__",

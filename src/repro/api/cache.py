@@ -100,12 +100,21 @@ class BoundedCache(OrderedDict):
                 OrderedDict.popitem(self, last=False)
                 self.evictions += 1
 
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Hit fraction in ``[0, 1]``, or ``None`` before any lookups."""
+        total = self.hits + self.misses
+        if total == 0:
+            return None
+        return self.hits / total
+
     def stats(self) -> Dict[str, Any]:
-        """Size, bound and counters as one JSON-native dict."""
+        """Size, bound, counters and hit rate as one JSON-native dict."""
         return {
             "size": len(self),
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
         }

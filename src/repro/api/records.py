@@ -82,6 +82,13 @@ class RunRecord:
         Wall-clock duration of the operation.
     created_unix:
         POSIX timestamp of record creation.
+    telemetry:
+        Optional JSON-native per-run telemetry (the optimizer's
+        pass-by-pass story, see :mod:`repro.obs.telemetry`).  Like the
+        timing block it is envelope metadata, not payload: it is emitted
+        only by ``to_dict(with_timing=True)``, so the byte-stable
+        ``with_timing=False`` form -- the batch/serve parity contract --
+        is unchanged, and old readers simply ignore the extra key.
     """
 
     kind: str
@@ -90,6 +97,7 @@ class RunRecord:
     extra: Dict[str, Any] = field(default_factory=dict)
     elapsed_s: float = 0.0
     created_unix: float = 0.0
+    telemetry: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -136,6 +144,8 @@ class RunRecord:
                 "elapsed_s": float(self.elapsed_s),
                 "created_unix": float(self.created_unix),
             }
+            if self.telemetry is not None:
+                data["telemetry"] = dict(self.telemetry)
         return data
 
     def to_json(self, with_timing: bool = True, indent: Optional[int] = None) -> str:
@@ -194,6 +204,7 @@ class RunRecord:
         else:
             payload = flimit_entries_from_list(raw_payload)
         timing = data.get("timing") or {}
+        telemetry = data.get("telemetry")
         return cls(
             kind=kind,
             job=None if data.get("job") is None else Job.from_dict(data["job"]),
@@ -201,6 +212,7 @@ class RunRecord:
             extra=dict(data.get("extra") or {}),
             elapsed_s=timing.get("elapsed_s", 0.0),
             created_unix=timing.get("created_unix", 0.0),
+            telemetry=None if telemetry is None else dict(telemetry),
         )
 
     @classmethod

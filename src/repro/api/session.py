@@ -55,6 +55,7 @@ from repro.iscas.loader import load_benchmark
 from repro.mc.compile import CompiledCircuit
 from repro.mc.result import McResult, mc_analyze
 from repro.netlist.circuit import Circuit
+from repro.obs.trace import NULL_TRACER, Stopwatch, Tracer
 from repro.process.technology import Technology
 from repro.protocol.optimizer import WarmStart, optimize_circuit, optimize_path
 from repro.sizing.bounds import DelayBounds, delay_bounds
@@ -141,6 +142,13 @@ class Session:
         so a session over millions of distinct circuits cannot grow
         without limit.  Eviction is safe -- every cached artefact is a
         pure function of its key and is recomputed on the next miss.
+    tracer:
+        An optional :class:`repro.obs.Tracer`.  When given (and enabled)
+        every job method runs inside a ``session.<op>`` span, the
+        circuit optimizer records pass/path spans and the incremental
+        engines emit ``sta.update`` events.  The default is the shared
+        :data:`~repro.obs.NULL_TRACER`, whose overhead is a single
+        attribute check -- results are byte-identical either way.
 
     Sessions are safe for concurrent readers: every cache-miss populate
     path is guarded by a per-key lock (double-checked against the cache),
@@ -157,6 +165,7 @@ class Session:
         cache_limit: Optional[int] = None,
         backend: Optional[str] = None,
         liberty: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if library is not None and tech is not None:
             raise ValueError("give at most one of 'library' and 'tech'")
@@ -178,6 +187,7 @@ class Session:
         self.liberty_path: Optional[str] = liberty
         self.bench_dir = bench_dir
         self.cache_limit = cache_limit
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = SessionStats()
         # Library/backend identity prefixed onto every circuit-keyed
         # cache key: two sessions over different libraries (or backends)
@@ -322,6 +332,11 @@ class Session:
                     self._engines[skey] = engine
                 result = engine.result()
             else:
+                # Refresh the tracer attachment on every reuse: the
+                # session's tracer decides whether this update emits
+                # ``sta.update`` events, and a stale attachment from an
+                # earlier traced run must not outlive it.
+                engine.tracer = self.tracer if self.tracer.enabled else None
                 changed = []
                 for name, gate in circuit.gates.items():
                     own = engine.circuit.gates[name]
@@ -449,12 +464,17 @@ class Session:
             self._probes.clear()
 
     def cache_stats(self) -> Dict[str, Any]:
-        """Size, bound and hit/miss/eviction counters of every cache.
+        """Size, bound, counters and rates of every cache, one schema.
 
         The shape is JSON-native: ``{"limit": ..., "caches": {name:
-        {size, maxsize, hits, misses, evictions}}, "counters": {...}}``.
-        This is the surface the serving layer's ``status`` endpoint and
-        ``pops`` expose; ``counters`` echoes :attr:`stats`.
+        {size, maxsize, hits, misses, evictions, hit_rate}}, "hit_rates":
+        {name: rate}, "evictions": total, "counters": {...}}``.  Per
+        cache, ``hit_rate`` is the hit fraction in ``[0, 1]`` (``None``
+        before any lookups); ``hit_rates`` and ``evictions`` repeat the
+        rates and the eviction total at the top level so dashboards need
+        not walk the nested dicts.  This is the surface the serving
+        layer's ``status`` endpoint and ``pops status`` expose;
+        ``counters`` echoes :attr:`stats`.
         """
         with self._lock:
             caches = {
@@ -472,6 +492,12 @@ class Session:
             return {
                 "limit": self.cache_limit,
                 "caches": caches,
+                "hit_rates": {
+                    name: stats["hit_rate"] for name, stats in caches.items()
+                },
+                "evictions": sum(
+                    stats["evictions"] for stats in caches.values()
+                ),
                 "counters": self.stats.as_dict(),
             }
 
@@ -528,43 +554,45 @@ class Session:
 
     def characterize(self, with_simulation: bool = False) -> RunRecord:
         """Full Table 2 characterisation as a run record."""
-        started = time.perf_counter()
-        self.stats.characterizations += 1
-        entries = characterize_library(
-            self._library, gates=TABLE2_GATES, with_simulation=with_simulation
-        )
-        return RunRecord(
-            kind=KIND_CHARACTERIZE,
-            job=None,
-            payload=entries,
-            extra={"with_simulation": bool(with_simulation)},
-            elapsed_s=time.perf_counter() - started,
-            created_unix=time.time(),
-        )
+        sw = Stopwatch()
+        with self.tracer.span("session.characterize"):
+            self.stats.characterizations += 1
+            entries = characterize_library(
+                self._library, gates=TABLE2_GATES, with_simulation=with_simulation
+            )
+            return RunRecord(
+                kind=KIND_CHARACTERIZE,
+                job=None,
+                payload=entries,
+                extra={"with_simulation": bool(with_simulation)},
+                elapsed_s=sw.elapsed_s,
+                created_unix=time.time(),
+            )
 
     def bounds(self, job: Job) -> RunRecord:
         """Critical-path delay window of the job's circuit."""
-        started = time.perf_counter()
-        self.stats.jobs_run += 1
-        job = self._prepare_job(job)
-        circuit = self.resolve_circuit(job)
-        extracted = self.critical_path(circuit)
-        bounds = self.path_bounds(circuit)
-        return RunRecord(
-            kind=KIND_BOUNDS,
-            job=job,
-            payload={
-                "gate_names": extracted.gate_names,
-                "path": extracted.path,
-                "bounds": bounds,
-            },
-            extra={
-                "extraction_delay_ps": float(extracted.delay_ps),
-                "path_gates": len(extracted.gate_names),
-            },
-            elapsed_s=time.perf_counter() - started,
-            created_unix=time.time(),
-        )
+        sw = Stopwatch()
+        with self.tracer.span("session.bounds", job=job.name):
+            self.stats.jobs_run += 1
+            job = self._prepare_job(job)
+            circuit = self.resolve_circuit(job)
+            extracted = self.critical_path(circuit)
+            bounds = self.path_bounds(circuit)
+            return RunRecord(
+                kind=KIND_BOUNDS,
+                job=job,
+                payload={
+                    "gate_names": extracted.gate_names,
+                    "path": extracted.path,
+                    "bounds": bounds,
+                },
+                extra={
+                    "extraction_delay_ps": float(extracted.delay_ps),
+                    "path_gates": len(extracted.gate_names),
+                },
+                elapsed_s=sw.elapsed_s,
+                created_unix=time.time(),
+            )
 
     def optimize(self, job: Job, warm: Optional[WarmStart] = None) -> RunRecord:
         """Run the Fig. 7 protocol for one job (path or circuit scope).
@@ -574,85 +602,94 @@ class Session:
         driver; payloads are byte-identical with or without it (see
         :class:`~repro.protocol.optimizer.WarmStart`).
         """
-        started = time.perf_counter()
-        self.stats.jobs_run += 1
-        job = self._prepare_job(job)
-        circuit = self.resolve_circuit(job)
-        bounds = self.path_bounds(circuit)
-        tc_ps = self.resolve_tc(job, bounds.tmin_ps)
-        limits = self.flimits()
+        sw = Stopwatch()
+        with self.tracer.span(
+            "session.optimize", job=job.name, scope=job.scope
+        ):
+            self.stats.jobs_run += 1
+            job = self._prepare_job(job)
+            circuit = self.resolve_circuit(job)
+            bounds = self.path_bounds(circuit)
+            tc_ps = self.resolve_tc(job, bounds.tmin_ps)
+            limits = self.flimits()
 
-        if job.scope == "path":
-            extracted = self.critical_path(circuit)
-            outcome = optimize_path(
-                extracted.path,
-                self._library,
-                tc_ps,
-                limits=limits,
-                allow_restructuring=job.allow_restructuring,
-                weight_mode=job.weight_mode,
-                tmin_ps=bounds.tmin_ps,
+            telemetry = None
+            if job.scope == "path":
+                extracted = self.critical_path(circuit)
+                outcome = optimize_path(
+                    extracted.path,
+                    self._library,
+                    tc_ps,
+                    limits=limits,
+                    allow_restructuring=job.allow_restructuring,
+                    weight_mode=job.weight_mode,
+                    tmin_ps=bounds.tmin_ps,
+                )
+                kind = KIND_OPTIMIZE_PATH
+                extra = {
+                    "tc_ps": float(tc_ps),
+                    "tmin_ps": float(bounds.tmin_ps),
+                    "tmax_ps": float(bounds.tmax_ps),
+                    "path_gates": len(extracted.gate_names),
+                }
+            else:
+                outcome = optimize_circuit(
+                    circuit,
+                    self._library,
+                    tc_ps,
+                    k_paths=job.k_paths,
+                    max_passes=job.max_passes,
+                    limits=limits,
+                    weight_mode=job.weight_mode,
+                    allow_restructuring=job.allow_restructuring,
+                    warm=warm,
+                    tracer=self.tracer if self.tracer.enabled else None,
+                )
+                kind = KIND_OPTIMIZE_CIRCUIT
+                extra = {
+                    "tc_ps": float(tc_ps),
+                    "tmin_ps": float(bounds.tmin_ps),
+                    "area_um": float(
+                        circuit_area_um(outcome.circuit, self._library)
+                    ),
+                }
+                if outcome.telemetry is not None:
+                    telemetry = outcome.telemetry.as_dict()
+            return RunRecord(
+                kind=kind,
+                job=job,
+                payload=outcome,
+                extra=extra,
+                elapsed_s=sw.elapsed_s,
+                created_unix=time.time(),
+                telemetry=telemetry,
             )
-            kind = KIND_OPTIMIZE_PATH
-            extra = {
-                "tc_ps": float(tc_ps),
-                "tmin_ps": float(bounds.tmin_ps),
-                "tmax_ps": float(bounds.tmax_ps),
-                "path_gates": len(extracted.gate_names),
-            }
-        else:
-            outcome = optimize_circuit(
-                circuit,
-                self._library,
-                tc_ps,
-                k_paths=job.k_paths,
-                max_passes=job.max_passes,
-                limits=limits,
-                weight_mode=job.weight_mode,
-                allow_restructuring=job.allow_restructuring,
-                warm=warm,
-            )
-            kind = KIND_OPTIMIZE_CIRCUIT
-            extra = {
-                "tc_ps": float(tc_ps),
-                "tmin_ps": float(bounds.tmin_ps),
-                "area_um": float(
-                    circuit_area_um(outcome.circuit, self._library)
-                ),
-            }
-        return RunRecord(
-            kind=kind,
-            job=job,
-            payload=outcome,
-            extra=extra,
-            elapsed_s=time.perf_counter() - started,
-            created_unix=time.time(),
-        )
 
     def power(self, job: Job) -> RunRecord:
         """Area / activity / power report for the job's circuit."""
-        started = time.perf_counter()
-        self.stats.jobs_run += 1
-        job = self._prepare_job(job)
-        circuit = self.resolve_circuit(job)
-        activity = estimate_activity(circuit, n_vectors=job.activity_vectors)
-        report = estimate_power(
-            circuit,
-            self._library,
-            frequency_mhz=job.frequency_mhz,
-            activity=activity,
-        )
-        return RunRecord(
-            kind=KIND_POWER,
-            job=job,
-            payload=report,
-            extra={
-                "area_um": float(circuit_area_um(circuit, self._library)),
-                "mean_activity": float(activity.mean_rate),
-            },
-            elapsed_s=time.perf_counter() - started,
-            created_unix=time.time(),
-        )
+        sw = Stopwatch()
+        with self.tracer.span("session.power", job=job.name):
+            self.stats.jobs_run += 1
+            job = self._prepare_job(job)
+            circuit = self.resolve_circuit(job)
+            activity = estimate_activity(circuit, n_vectors=job.activity_vectors)
+            report = estimate_power(
+                circuit,
+                self._library,
+                frequency_mhz=job.frequency_mhz,
+                activity=activity,
+            )
+            return RunRecord(
+                kind=KIND_POWER,
+                job=job,
+                payload=report,
+                extra={
+                    "area_um": float(circuit_area_um(circuit, self._library)),
+                    "mean_activity": float(activity.mean_rate),
+                },
+                elapsed_s=sw.elapsed_s,
+                created_unix=time.time(),
+            )
 
     def mc(
         self,
@@ -669,51 +706,52 @@ class Session:
         ``Tmin``) becomes the yield target; without one the record still
         carries the distribution and guard bands.
         """
-        started = time.perf_counter()
-        self.stats.jobs_run += 1
-        job = self._prepare_job(job)
-        circuit = self.resolve_circuit(job)
-        # Only a Tmin-relative constraint needs the (eq. 4) bounds solve;
-        # an absolute tc_ps must not pay extraction + fixed point for a
-        # value it would discard.
-        tc_ps: Optional[float] = job.tc_ps
-        if tc_ps is None and job.tc_ratio is not None:
-            tc_ps = self.resolve_tc(job, self.path_bounds(circuit).tmin_ps)
-        # Hold the compiled-circuit key for the whole batch analysis: the
-        # compilation is shared per structure and ``bind`` rewrites its
-        # sizing arrays, so a concurrent mc over another sizing of the
-        # same netlist must wait (the inner ``compiled`` call re-enters
-        # the same RLock).
-        with self._populate_lock(
-            "compiled", (self._fp, circuit_structure_key(circuit))
-        ):
-            result: McResult = mc_analyze(
-                circuit,
-                self._library,
-                spec=spec,
-                n_samples=job.mc_samples,
-                seed=job.mc_seed,
-                tc_ps=tc_ps,
-                target_yield=target_yield,
-                compiled=self.compiled(circuit),
+        sw = Stopwatch()
+        with self.tracer.span("session.mc", job=job.name):
+            self.stats.jobs_run += 1
+            job = self._prepare_job(job)
+            circuit = self.resolve_circuit(job)
+            # Only a Tmin-relative constraint needs the (eq. 4) bounds
+            # solve; an absolute tc_ps must not pay extraction + fixed
+            # point for a value it would discard.
+            tc_ps: Optional[float] = job.tc_ps
+            if tc_ps is None and job.tc_ratio is not None:
+                tc_ps = self.resolve_tc(job, self.path_bounds(circuit).tmin_ps)
+            # Hold the compiled-circuit key for the whole batch analysis:
+            # the compilation is shared per structure and ``bind``
+            # rewrites its sizing arrays, so a concurrent mc over another
+            # sizing of the same netlist must wait (the inner
+            # ``compiled`` call re-enters the same RLock).
+            with self._populate_lock(
+                "compiled", (self._fp, circuit_structure_key(circuit))
+            ):
+                result: McResult = mc_analyze(
+                    circuit,
+                    self._library,
+                    spec=spec,
+                    n_samples=job.mc_samples,
+                    seed=job.mc_seed,
+                    tc_ps=tc_ps,
+                    target_yield=target_yield,
+                    compiled=self.compiled(circuit),
+                )
+            extra: Dict[str, object] = {
+                "nominal_ps": float(result.nominal_ps),
+                "p99_ps": float(result.p99_ps),
+                "guard_band": float(result.guard_band),
+                "required_guard_band": float(result.required_guard_band),
+            }
+            if tc_ps is not None:
+                extra["tc_ps"] = float(tc_ps)
+                extra["yield"] = float(result.yield_fraction or 0.0)
+            return RunRecord(
+                kind=KIND_MC,
+                job=job,
+                payload=result,
+                extra=extra,
+                elapsed_s=sw.elapsed_s,
+                created_unix=time.time(),
             )
-        extra: Dict[str, object] = {
-            "nominal_ps": float(result.nominal_ps),
-            "p99_ps": float(result.p99_ps),
-            "guard_band": float(result.guard_band),
-            "required_guard_band": float(result.required_guard_band),
-        }
-        if tc_ps is not None:
-            extra["tc_ps"] = float(tc_ps)
-            extra["yield"] = float(result.yield_fraction or 0.0)
-        return RunRecord(
-            kind=KIND_MC,
-            job=job,
-            payload=result,
-            extra=extra,
-            elapsed_s=time.perf_counter() - started,
-            created_unix=time.time(),
-        )
 
     # -- batch / scale-out ---------------------------------------------
 

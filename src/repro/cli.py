@@ -9,8 +9,12 @@ Subcommands mirror the protocol steps:
 * ``pops power <benchmark>``        -- area / activity / power report
 * ``pops sweep <benchmark...>``     -- Tc-sweep campaign + Pareto frontier
 * ``pops mc <benchmark...>``        -- Monte-Carlo corner analysis / yield
+* ``pops trace <file>``             -- render a trace JSONL / run telemetry
 * ``pops benchmarks``               -- list the registered circuits
 * ``pops lib <file.lib>``           -- inspect/validate an NLDM Liberty file
+
+``optimize``, ``sweep`` and ``mc`` accept ``--trace <file.jsonl>`` to
+record hierarchical spans (see :mod:`repro.obs`) for ``pops trace``.
 
 Analysis subcommands accept ``--backend {analytic,nldm}`` plus
 ``--liberty <file.lib>`` to run the whole stack off characterised NLDM
@@ -82,11 +86,25 @@ def _session(args: argparse.Namespace) -> Session:
     liberty = getattr(args, "liberty", None)
     if liberty is not None and backend is None:
         backend = "nldm"
+    tracer = None
+    if getattr(args, "trace", None):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     return Session(
         bench_dir=getattr(args, "bench_dir", None),
         backend=backend,
         liberty=liberty,
+        tracer=tracer,
     )
+
+
+def _export_trace(args: argparse.Namespace, session: Session) -> None:
+    """Write the session's spans to ``--trace`` (no-op without the flag)."""
+    path = getattr(args, "trace", None)
+    if path and session.tracer.enabled:
+        count = session.tracer.export_jsonl(path)
+        print(f"trace       : {count} span(s) -> {path}", file=sys.stderr)
 
 
 def _emit(args: argparse.Namespace, record) -> bool:
@@ -245,7 +263,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         weight_mode=args.weight_mode,
         allow_restructuring=not args.no_restructuring,
     )
-    record = _session(args).optimize(job)
+    session = _session(args)
+    record = session.optimize(job)
+    _export_trace(args, session)
     if _emit(args, record):
         return 0
     outcome = record.payload
@@ -358,8 +378,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     def progress(done: int, total: int, label: str) -> None:
         print(f"[{done}/{total}] {label}", file=sys.stderr)
 
+    session = _session(args)
     result = run_sweep(
-        _session(args),
+        session,
         spec,
         store=args.store,
         resume=args.resume,
@@ -369,6 +390,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with_yield=args.with_yield,
         progress=progress if not args.quiet else None,
     )
+    _export_trace(args, session)
     if getattr(args, "json", False):
         print(result.record().to_json(indent=2))
         return 0
@@ -396,6 +418,7 @@ def _cmd_mc(args: argparse.Namespace) -> int:
             mc_seed=args.seed,
         )
         records.append(session.mc(job))
+    _export_trace(args, session)
 
     if args.store is not None:
         os.makedirs(args.store, exist_ok=True)
@@ -478,6 +501,27 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render a trace JSONL or a run record's telemetry block."""
+    from repro.obs import (
+        load_trace_jsonl,
+        render_record_telemetry,
+        render_spans,
+    )
+
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError:
+        data = None
+    if isinstance(data, dict) and "kind" in data and "payload" in data:
+        print(render_record_telemetry(data))
+        return 0
+    spans = load_trace_jsonl(args.file)
+    print(render_spans(spans, max_rows=args.max_rows))
+    return 0
+
+
 def _serve_client(args: argparse.Namespace):
     """A :class:`repro.serve.ServeClient` for the daemon args address."""
     from repro.serve import ServeClient
@@ -492,9 +536,17 @@ def _serve_client(args: argparse.Namespace):
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the multi-tenant optimization daemon until shutdown."""
     import asyncio
+    import logging
     import signal
 
     from repro.serve import PopsServer, ServeConfig
+
+    if args.log_level:
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            stream=sys.stderr,
+            format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+        )
 
     config = ServeConfig(
         socket_path=None if args.port else args.socket,
@@ -616,6 +668,9 @@ def _cmd_serve_status(args: argparse.Namespace) -> int:
             caches[name]["maxsize"] or "-",
             caches[name]["hits"],
             caches[name]["misses"],
+            "-"
+            if caches[name].get("hit_rate") is None
+            else f"{caches[name]['hit_rate']:.2f}",
             caches[name]["evictions"],
         )
         for name in sorted(caches)
@@ -623,7 +678,7 @@ def _cmd_serve_status(args: argparse.Namespace) -> int:
     print()
     print(
         format_table(
-            ("cache", "size", "max", "hits", "misses", "evictions"),
+            ("cache", "size", "max", "hits", "misses", "hit rate", "evictions"),
             rows,
             title="Session caches",
         )
@@ -754,6 +809,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="forbid the De Morgan fallback for infeasible constraints",
     )
+    p_opt.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE.jsonl",
+        help="record hierarchical spans to a trace JSONL file",
+    )
     p_opt.add_argument("--json", action="store_true", help="emit the run record")
 
     p_sweep = sub.add_parser(
@@ -834,6 +895,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress"
     )
+    p_sweep.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE.jsonl",
+        help="record hierarchical spans to a trace JSONL file",
+    )
     p_sweep.add_argument("--json", action="store_true", help="emit the sweep record")
 
     p_mc = sub.add_parser(
@@ -865,7 +932,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for per-benchmark record JSON files",
     )
+    p_mc.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE.jsonl",
+        help="record hierarchical spans to a trace JSONL file",
+    )
     p_mc.add_argument("--json", action="store_true", help="emit the run record(s)")
+
+    p_trace = sub.add_parser(
+        "trace", help="render a trace JSONL or a run record's telemetry"
+    )
+    p_trace.add_argument(
+        "file", help="a --trace JSONL file or a run-record JSON envelope"
+    )
+    p_trace.add_argument(
+        "--max-rows",
+        type=int,
+        default=200,
+        help="span-tree rows to print before eliding (default 200)",
+    )
 
     p_report = sub.add_parser("report", help="STA timing report")
     p_report.add_argument("benchmark")
@@ -923,6 +1009,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-cache LRU entry bound for the shared session",
     )
     p_serve.add_argument("--bench-dir", default=None, help="real .bench directory")
+    p_serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="enable structured daemon logging to stderr at this level",
+    )
 
     p_submit = sub.add_parser(
         "submit", help="run one job through the serve daemon"
@@ -1011,6 +1103,7 @@ _COMMANDS = {
     "power": _cmd_power,
     "sweep": _cmd_sweep,
     "mc": _cmd_mc,
+    "trace": _cmd_trace,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "status": _cmd_serve_status,

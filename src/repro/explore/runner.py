@@ -42,6 +42,7 @@ from repro.api.session import (
 from repro.cells.library import Library
 from repro.explore.store import CampaignError, CampaignStore
 from repro.explore.summary import SweepSummary, summarize
+from repro.obs.trace import Stopwatch
 from repro.protocol.optimizer import WarmStart
 
 #: Vector count for the summary's power estimates (matches Job default).
@@ -151,7 +152,11 @@ def _run_chunk(
     warm = WarmStart()
     records = []
     for job in jobs:
-        record = session.optimize(job, warm=warm)
+        with session.tracer.span(
+            "sweep.point", label=job.label or job.name
+        ) as point_span:
+            record = session.optimize(job, warm=warm)
+            point_span.set(elapsed_s=float(record.elapsed_s))
         if after_point is not None:
             after_point(job, record)
         records.append(record)
@@ -318,7 +323,7 @@ def run_sweep(
     progress:
         Optional ``(done, total, label)`` callback per completed point.
     """
-    started = time.perf_counter()
+    sw = Stopwatch()
     jobs = spec.jobs()
     if isinstance(store, (str, bytes)):
         store = CampaignStore(str(store))
@@ -410,5 +415,5 @@ def run_sweep(
         ),
         computed=len(fresh),
         resumed=len(done_records),
-        elapsed_s=time.perf_counter() - started,
+        elapsed_s=sw.elapsed_s,
     )

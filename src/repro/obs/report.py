@@ -1,0 +1,165 @@
+"""Human-readable rendering for traces and recorded telemetry.
+
+Backs ``pops trace``: :func:`render_spans` draws the span tree (with a
+cumulative per-name summary) from a JSONL trace file, and
+:func:`render_record_telemetry` prints the pass-by-pass optimizer story
+embedded in a serialized :class:`~repro.api.records.RunRecord`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:9.3f} ms"
+
+
+def _fmt_attrs(attrs: Dict[str, Any], limit: int = 4) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for i, (key, value) in enumerate(sorted(attrs.items())):
+        if i == limit:
+            parts.append("...")
+            break
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    return "  [" + " ".join(parts) + "]"
+
+
+def render_spans(spans: List[Dict[str, Any]], max_rows: int = 200) -> str:
+    """The span tree plus a per-name cumulative summary, as text.
+
+    Parameters
+    ----------
+    spans:
+        Span dicts as written by ``Tracer.export_jsonl`` (and read back
+        by ``load_trace_jsonl``).
+    max_rows:
+        Tree rows rendered before eliding the remainder (the summary
+        always covers every span).
+    """
+    if not spans:
+        return "empty trace (0 spans)"
+    children: Dict[Any, List[Dict[str, Any]]] = defaultdict(list)
+    ids = {span.get("id") for span in spans}
+    roots: List[Dict[str, Any]] = []
+    for span in spans:
+        parent = span.get("parent")
+        if parent is None or parent not in ids:
+            roots.append(span)
+        else:
+            children[parent].append(span)
+
+    def sort_key(span: Dict[str, Any]) -> Any:
+        return (span.get("t0_s", 0.0), span.get("id", 0))
+
+    lines: List[str] = []
+    elided = [0]
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        if len(lines) >= max_rows:
+            elided[0] += 1
+        else:
+            dur = float(span.get("dur_s", 0.0))
+            lines.append(
+                f"{_fmt_ms(dur)}  "
+                + "  " * depth
+                + str(span.get("name", "?"))
+                + _fmt_attrs(span.get("attrs") or {})
+            )
+        for child in sorted(children[span.get("id")], key=sort_key):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=sort_key):
+        walk(root, 0)
+    if elided[0]:
+        lines.append(f"... {elided[0]} more spans elided")
+
+    totals: Dict[str, List[float]] = defaultdict(lambda: [0, 0.0])
+    for span in spans:
+        entry = totals[str(span.get("name", "?"))]
+        entry[0] += 1
+        entry[1] += float(span.get("dur_s", 0.0))
+    lines.append("")
+    lines.append(f"{len(spans)} spans; cumulative by name:")
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1][1])
+    for name, (count, total) in ranked:
+        lines.append(f"  {_fmt_ms(total)}  {count:6d}x  {name}")
+    return "\n".join(lines)
+
+
+def render_record_telemetry(record: Dict[str, Any]) -> str:
+    """The telemetry story of a serialized ``RunRecord``, as text.
+
+    Renders the envelope header (kind, job, timing) and, when the
+    record carries a ``"telemetry"`` block, the per-pass delay
+    trajectory / move-accounting table, the rollback verdict and the
+    rescue-buffer outcome.
+    """
+    lines: List[str] = []
+    job = record.get("job") or {}
+    lines.append(f"record   : {record.get('kind', '?')}")
+    if job:
+        label = job.get("name") or job.get("benchmark") or "?"
+        lines.append(f"job      : {label}")
+    timing = record.get("timing") or {}
+    if timing:
+        lines.append(f"elapsed  : {float(timing.get('elapsed_s', 0.0)):.3f} s")
+    telemetry = record.get("telemetry")
+    if not telemetry:
+        lines.append("telemetry: none recorded")
+        return "\n".join(lines)
+    lines.append(
+        "target   : tc = %.1f ps" % float(telemetry.get("tc_ps", 0.0))
+    )
+    initial = float(telemetry.get("initial_delay_ps", 0.0))
+    final = float(telemetry.get("final_delay_ps", 0.0))
+    lines.append(
+        f"delay    : {initial:.1f} ps -> {final:.1f} ps "
+        f"({final - initial:+.1f} ps)"
+    )
+    lines.append(
+        "moves    : %d accepted, %d rejected"
+        % (int(telemetry.get("accepted", 0)), int(telemetry.get("rejected", 0)))
+    )
+    rollback = telemetry.get("rollback", "none")
+    if rollback != "none":
+        lines.append(
+            f"rollback : {rollback} "
+            f"({int(telemetry.get('rolled_back_passes', 0))} pass(es) discarded)"
+        )
+    rescue = telemetry.get("rescue") or {}
+    if rescue.get("attempted"):
+        gates = rescue.get("gates") or []
+        lines.append(
+            "rescue   : %d buffer(s), %.1f ps -> %.1f ps"
+            % (
+                len(gates),
+                float(rescue.get("delay_before_ps", 0.0)),
+                float(rescue.get("delay_after_ps", 0.0)),
+            )
+        )
+    passes = telemetry.get("passes") or []
+    if passes:
+        lines.append("")
+        lines.append(
+            "pass   delay_ps   paths  sized  struct  skipped  elapsed"
+        )
+        for entry in passes:
+            lines.append(
+                "%4d   %8.1f   %5d  %5d  %6d  %7d  %6.3fs"
+                % (
+                    int(entry.get("index", 0)),
+                    float(entry.get("critical_delay_ps", 0.0)),
+                    int(entry.get("paths_extracted", 0)),
+                    int(entry.get("applied_sizing", 0)),
+                    int(entry.get("applied_structural", 0)),
+                    int(entry.get("skipped", 0)),
+                    float(entry.get("elapsed_s", 0.0)),
+                )
+            )
+    return "\n".join(lines)

@@ -1,0 +1,344 @@
+"""Hierarchical tracing with near-zero disabled-path overhead.
+
+A :class:`Tracer` records :class:`Span` objects -- named, attributed
+intervals measured on the monotonic clock (``time.perf_counter``) --
+nested via a per-thread stack so spans opened inside other spans pick up
+a parent automatically.  Spans are opened with the :meth:`Tracer.span`
+context manager or the :meth:`Tracer.traced` decorator; instantaneous
+marks are recorded with :meth:`Tracer.event`.  Finished spans can be
+exported as JSON Lines (one span per line) for ``pops trace``.
+
+The :class:`NullTracer` singleton (:data:`NULL_TRACER`) is the default
+everywhere tracing is threaded through the stack.  Its fast path is a
+single ``enabled`` attribute check: hot kernels guard their
+instrumentation with ``if tracer is not None and tracer.enabled`` and
+skip all span bookkeeping when tracing is off, which is what keeps the
+disabled-tracer overhead on the incremental-STA kernel inside the
+benchmark gate (see ``benchmarks/test_perf_obs.py``).
+
+:class:`Stopwatch` is the shared wall-clock helper used by every
+Session job method, the sweep runner and the serve executor instead of
+hand-rolled ``perf_counter()`` start/stop pairs.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Stopwatch:
+    """A started monotonic timer; ``elapsed_s`` reads it without stopping.
+
+    Replaces the hand-rolled ``started = time.perf_counter()`` /
+    ``time.perf_counter() - started`` pairs around job bodies::
+
+        sw = Stopwatch()
+        ...                     # timed work
+        record.elapsed_s = sw.elapsed_s
+
+    Attributes
+    ----------
+    started : float
+        ``time.perf_counter()`` at construction (or last :meth:`restart`).
+    """
+
+    __slots__ = ("started",)
+
+    def __init__(self) -> None:
+        self.started = time.perf_counter()
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds elapsed since construction (monotonic)."""
+        return time.perf_counter() - self.started
+
+    def restart(self) -> None:
+        """Reset the start mark to now."""
+        self.started = time.perf_counter()
+
+
+class Span:
+    """One named interval on a tracer's timeline.
+
+    Attributes
+    ----------
+    name : str
+        Dotted span name (see the span taxonomy in
+        ``docs/ARCHITECTURE.md``), e.g. ``"optimize.pass"``.
+    span_id : int
+        Identifier unique within the owning tracer.
+    parent_id : int or None
+        ``span_id`` of the enclosing span on the same thread, or ``None``
+        for a root span.
+    start_s : float
+        Start offset in seconds relative to the tracer's epoch.
+    end_s : float or None
+        End offset, ``None`` while the span is still open.  Events
+        (instantaneous marks) have ``end_s == start_s``.
+    attrs : dict
+        JSON-native key/value attributes attached at open or during the
+        span via :meth:`set`.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "start_s", "end_s", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start_s: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration in seconds (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **attrs: Any) -> None:
+        """Attach extra attributes to the span while it is open."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native representation (one trace-file line)."""
+        return {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "t0_s": self.start_s,
+            "dur_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"dur_s={self.duration_s:.6f})"
+        )
+
+
+class Tracer:
+    """Collects hierarchical spans; thread-safe, monotonic-clocked.
+
+    Span nesting is tracked per thread, so concurrent executors (the
+    serve thread pools) each build their own well-formed subtree.  All
+    clock reads are ``time.perf_counter()`` offsets from the tracer's
+    construction epoch; ``epoch_unix`` anchors them to wall time for
+    display.
+
+    Attributes
+    ----------
+    enabled : bool
+        ``True`` on real tracers.  Hot paths check only this flag when
+        deciding whether to record.
+    spans : list of Span
+        Finished (and currently open) spans in open order.
+    epoch_unix : float
+        ``time.time()`` at construction, for absolute timestamps.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._epoch = time.perf_counter()
+        self.epoch_unix = time.time()
+        self.spans: List[Span] = []
+
+    # -- clock ---------------------------------------------------------
+
+    def now_s(self) -> float:
+        """Seconds since the tracer epoch (monotonic)."""
+        return time.perf_counter() - self._epoch
+
+    # -- span stack ----------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a span for the duration of the ``with`` block.
+
+        Parameters
+        ----------
+        name : str
+            Dotted span name.
+        **attrs
+            JSON-native attributes recorded on the span.
+
+        Yields
+        ------
+        Span
+            The open span; callers may ``.set(...)`` more attributes.
+        """
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span = Span(name, next(self._ids), parent, self.now_s(), attrs)
+            self.spans.append(span)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end_s = self.now_s()
+            stack.pop()
+
+    def event(self, name: str, **attrs: Any) -> Span:
+        """Record an instantaneous mark under the current span."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span = Span(name, next(self._ids), parent, self.now_s(), attrs)
+            span.end_s = span.start_s
+            self.spans.append(span)
+        return span
+
+    def traced(
+        self, name: Optional[str] = None, **attrs: Any
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorate a function so every call runs inside a span.
+
+        Parameters
+        ----------
+        name : str, optional
+            Span name; defaults to the function's ``__qualname__``.
+        **attrs
+            Static attributes recorded on every call's span.
+        """
+
+        def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
+            span_name = name or func.__qualname__
+
+            @functools.wraps(func)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not self.enabled:
+                    return func(*args, **kwargs)
+                with self.span(span_name, **attrs):
+                    return func(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- export --------------------------------------------------------
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All spans as JSON-native dicts, sorted by start time."""
+        with self._lock:
+            spans = sorted(self.spans, key=lambda s: (s.start_s, s.span_id))
+            return [s.to_dict() for s in spans]
+
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON object per span to ``path``; returns the count.
+
+        The first line is a ``{"trace": ...}`` header carrying the epoch
+        so readers can recover absolute times; ``pops trace`` skips it.
+        """
+        spans = self.to_dicts()
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {"trace": {"epoch_unix": self.epoch_unix, "spans": len(spans)}}
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for span in spans:
+                handle.write(json.dumps(span, sort_keys=True) + "\n")
+        return len(spans)
+
+
+class _NullSpan:
+    """The shared do-nothing span yielded by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        """Discard attributes."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: records nothing, shared no-op span.
+
+    ``enabled`` is ``False`` so instrumented hot paths skip their
+    bookkeeping after a single attribute check; the context-manager API
+    still works (yielding a shared inert span) so cold paths need no
+    conditionals at all.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        """Return the shared no-op context manager."""
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        """Discard the event."""
+        return _NULL_SPAN
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Always empty."""
+        return []
+
+    def export_jsonl(self, path: str) -> int:
+        """Write nothing; returns 0."""
+        return 0
+
+
+#: Shared disabled tracer -- the default wherever tracing is optional.
+NULL_TRACER = NullTracer()
+
+
+def load_trace_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read spans back from :meth:`Tracer.export_jsonl` output.
+
+    Header lines (``{"trace": ...}``) are skipped; malformed lines raise
+    ``ValueError`` with the offending line number.
+    """
+    spans: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if not isinstance(data, dict):
+                raise ValueError(f"{path}:{lineno}: span line is not an object")
+            if "trace" in data and "name" not in data:
+                continue
+            spans.append(data)
+    return spans

@@ -21,6 +21,7 @@ loads), until the circuit's critical delay meets the constraint.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -33,6 +34,8 @@ from repro.buffering.insertion import (
 )
 from repro.cells.library import Library
 from repro.netlist.circuit import Circuit, GateInstance
+from repro.obs.telemetry import OptimizerTelemetry, PassTelemetry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.protocol.domains import (
     ConstraintDomain,
     DomainClassification,
@@ -349,6 +352,12 @@ class CircuitOptimizationResult:
     rescued_gates:
         Gates that received a netlist-level buffer pair in the opt-in
         ``rescue_buffers`` endgame (empty unless it ran and helped).
+    telemetry:
+        The pass-by-pass :class:`~repro.obs.telemetry.OptimizerTelemetry`
+        of the run (delay trajectory, move accounting, rollback and
+        rescue outcomes).  Always collected by :func:`optimize_circuit`;
+        carried outside the serialized payload (the envelope's optional
+        ``telemetry`` block), so payload bytes are unchanged.
     """
 
     circuit: Circuit
@@ -358,6 +367,7 @@ class CircuitOptimizationResult:
     path_results: List[ProtocolResult] = field(default_factory=list)
     passes: int = 0
     rescued_gates: Tuple[str, ...] = ()
+    telemetry: Optional[OptimizerTelemetry] = None
 
 
 def optimize_circuit(
@@ -371,6 +381,7 @@ def optimize_circuit(
     allow_restructuring: bool = True,
     warm: Optional[WarmStart] = None,
     rescue_buffers: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> CircuitOptimizationResult:
     """Apply the path protocol over a circuit's critical paths.
 
@@ -391,6 +402,12 @@ def optimize_circuit(
     batch kernel when enough gates are flagged.  Insertions are kept
     only when they lower the critical delay, so the default
     (``False``) and any non-improving run leave the result unchanged.
+
+    ``tracer`` (optional) records ``optimize.pass`` / ``optimize.path``
+    spans on an enabled :class:`repro.obs.Tracer`; pass-level
+    :class:`~repro.obs.telemetry.OptimizerTelemetry` is collected
+    unconditionally (its cost is a few integers per pass) and attached
+    to the returned result.  Neither changes the optimization outcome.
     """
     if limits is None:
         limits = default_flimits(library)
@@ -420,6 +437,12 @@ def optimize_circuit(
         engine = IncrementalSta(working, library)
     if warm is not None:
         warm.engine = engine
+    # The run owns the engine's tracer attachment: enabled tracers see
+    # ``sta.update`` events, anything else resets a possibly stale
+    # attachment left by an earlier traced run on a warm engine.
+    trc = tracer if tracer is not None and tracer.enabled else None
+    engine.tracer = trc
+    span_tracer = trc if trc is not None else NULL_TRACER
 
     def extract(first_pass: bool) -> List:
         # Only the *first* pass starts from a state shared across sweep
@@ -445,6 +468,10 @@ def optimize_circuit(
     best_state = working.copy()
     best_delay = engine.critical_delay_ps
     stalled_passes = 0
+    telemetry = OptimizerTelemetry(
+        tc_ps=tc_ps, initial_delay_ps=engine.critical_delay_ps
+    )
+    best_pass = 0  # pass index whose end state is the best seen (0 = initial)
     # A warm run shares the eq. 4 fixed-point memo with every pure path
     # solver below this frame (sizing, buffering, restructuring); cold
     # runs (memo None) compute everything in place, identically.
@@ -453,43 +480,65 @@ def optimize_circuit(
             if best_delay <= tc_ps:
                 break
             passes += 1
-            extracted = extract(first_pass=passes == 1)
-            progressed = False
-            # Path outcomes within a pass never read the engine (they
-            # work on the extraction-time path snapshots), so sizing
-            # write-backs are batched into one cone update per pass
-            # instead of one per candidate -- bit-identical by the
-            # incremental-STA contract, since ``working`` carries every
-            # size the moment it is applied.
-            pending_updates: List[str] = []
-            for candidate in extracted:
-                if candidate.delay_ps <= tc_ps:
-                    continue
-                outcome = optimize_path(
-                    candidate.path,
-                    library,
-                    tc_ps,
-                    limits=limits,
-                    allow_restructuring=allow_restructuring,
-                    weight_mode=weight_mode,
-                    conserve_structure=True,
-                )
-                results.append(outcome)
-                if len(outcome.path) == len(candidate.path):
-                    apply_path_sizes(working, candidate.gate_names, outcome.sizes)
-                    pending_updates.extend(candidate.gate_names)
-                    progressed = True
-                else:
-                    if _apply_structural_outcome(
-                        working, library, candidate, outcome
-                    ):
-                        # A structure refresh re-times from ``working``
-                        # wholesale, subsuming any pending size updates.
-                        engine.refresh_structure()
-                        pending_updates.clear()
+            pass_started = time.perf_counter()
+            pass_t = PassTelemetry(
+                index=passes - 1, critical_delay_ps=float(best_delay)
+            )
+            with span_tracer.span("optimize.pass", index=passes - 1):
+                extracted = extract(first_pass=passes == 1)
+                pass_t.paths_extracted = len(extracted)
+                progressed = False
+                # Path outcomes within a pass never read the engine (they
+                # work on the extraction-time path snapshots), so sizing
+                # write-backs are batched into one cone update per pass
+                # instead of one per candidate -- bit-identical by the
+                # incremental-STA contract, since ``working`` carries every
+                # size the moment it is applied.
+                pending_updates: List[str] = []
+                for candidate in extracted:
+                    if candidate.delay_ps <= tc_ps:
+                        pass_t.skipped += 1
+                        continue
+                    pass_t.proposed += 1
+                    with span_tracer.span(
+                        "optimize.path", delay_ps=float(candidate.delay_ps)
+                    ) as path_span:
+                        outcome = optimize_path(
+                            candidate.path,
+                            library,
+                            tc_ps,
+                            limits=limits,
+                            allow_restructuring=allow_restructuring,
+                            weight_mode=weight_mode,
+                            conserve_structure=True,
+                        )
+                        path_span.set(
+                            method=outcome.method,
+                            feasible=bool(outcome.feasible),
+                        )
+                    results.append(outcome)
+                    if len(outcome.path) == len(candidate.path):
+                        apply_path_sizes(
+                            working, candidate.gate_names, outcome.sizes
+                        )
+                        pending_updates.extend(candidate.gate_names)
+                        pass_t.applied_sizing += 1
                         progressed = True
-            if pending_updates:
-                engine.update(tuple(pending_updates))
+                    else:
+                        if _apply_structural_outcome(
+                            working, library, candidate, outcome
+                        ):
+                            # A structure refresh re-times from ``working``
+                            # wholesale, subsuming any pending size updates.
+                            engine.refresh_structure()
+                            pending_updates.clear()
+                            pass_t.applied_structural += 1
+                            progressed = True
+                if pending_updates:
+                    engine.update(tuple(pending_updates))
+                pass_t.critical_delay_ps = float(engine.critical_delay_ps)
+                pass_t.elapsed_s = time.perf_counter() - pass_started
+                telemetry.passes.append(pass_t)
             if not progressed:
                 break
             # Sizing one path reloads adjacent paths (the interaction the
@@ -501,6 +550,7 @@ def optimize_circuit(
             if delay_now < best_delay - 1e-6:
                 best_delay = delay_now
                 best_state = working.copy()
+                best_pass = passes
                 stalled_passes = 0
             else:
                 stalled_passes += 1
@@ -522,6 +572,7 @@ def optimize_circuit(
                 working.gates[name].cin_ff = gate.cin_ff
                 changed.append(name)
         final = engine.update(changed)
+        telemetry.rollback = "sizing" if changed else "none"
     else:
         # Structural rollback: rebuild the gate table from the snapshot
         # (insertion order included) and let the engine diff both ways.
@@ -536,6 +587,9 @@ def optimize_circuit(
         }
         working.outputs = list(best_state.outputs)
         final = engine.refresh_structure()
+        telemetry.rollback = "structural"
+    if telemetry.rollback != "none":
+        telemetry.rolled_back_passes = passes - best_pass
 
     # Opt-in endgame: when the path protocol alone cannot meet Tc, try
     # netlist-level load dilution on the best state.  The greedy rounds
@@ -545,12 +599,22 @@ def optimize_circuit(
     if rescue_buffers and final.critical_delay_ps > tc_ps:
         from repro.buffering.netlist_insertion import reduce_delay_with_buffers
 
-        _, rescued, _ = reduce_delay_with_buffers(
-            working, library, limits=limits, engine=engine
-        )
-        if rescued:
-            final = engine.result()
+        delay_before_rescue = float(final.critical_delay_ps)
+        with span_tracer.span("optimize.rescue") as rescue_span:
+            _, rescued, _ = reduce_delay_with_buffers(
+                working, library, limits=limits, engine=engine
+            )
+            if rescued:
+                final = engine.result()
+            rescue_span.set(gates=len(rescued))
+        telemetry.rescue = {
+            "attempted": True,
+            "gates": [str(name) for name in rescued],
+            "delay_before_ps": delay_before_rescue,
+            "delay_after_ps": float(final.critical_delay_ps),
+        }
 
+    telemetry.final_delay_ps = float(final.critical_delay_ps)
     return CircuitOptimizationResult(
         circuit=working,
         tc_ps=tc_ps,
@@ -559,4 +623,5 @@ def optimize_circuit(
         path_results=results,
         passes=passes,
         rescued_gates=rescued,
+        telemetry=telemetry,
     )

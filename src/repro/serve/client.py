@@ -113,6 +113,10 @@ class ServeClient:
         """The daemon's full observability snapshot."""
         return self._request_one({"op": "status"})
 
+    def metrics(self) -> Dict[str, Any]:
+        """The unified obs snapshot (``repro.obs.serve_metrics`` shape)."""
+        return self._request_one({"op": "metrics"})["metrics"]
+
     def shutdown(self, drain: bool = True) -> Dict[str, Any]:
         """Ask the daemon to stop (drained by default); returns its ack."""
         return self._request_one({"op": "shutdown", "drain": drain})

@@ -10,6 +10,7 @@ Requests (``op`` discriminates)::
 
     {"op": "ping"}
     {"op": "status"}
+    {"op": "metrics"}
     {"op": "shutdown", "drain": true}
     {"op": "submit", "kind": "optimize", "job": {...Job.to_dict()...},
      "priority": 0, "no_cache": false}
@@ -19,6 +20,7 @@ Events (``event`` discriminates)::
 
     {"event": "pong", "version": 1, ...}
     {"event": "status", "serve": {...}, "session": {...}, "queue": {...}}
+    {"event": "metrics", "metrics": {...unified obs snapshot...}}
     {"event": "shutting-down", "queued": N}
     {"event": "queued", "key": ..., "coalesced": false, "cached": false}
     {"event": "started", "key": ...}
@@ -44,8 +46,10 @@ from typing import Any, Dict, Tuple
 #: Bumped when the wire format changes incompatibly.
 PROTOCOL_VERSION = 1
 
-#: Request operations a server understands.
-OPS = ("ping", "status", "shutdown", "submit")
+#: Request operations a server understands.  ``metrics`` (added in this
+#: protocol version, ignored by older servers as an unknown op) returns
+#: the unified observability snapshot of :func:`repro.obs.serve_metrics`.
+OPS = ("ping", "status", "metrics", "shutdown", "submit")
 
 #: Submittable work kinds and the Session/explore surface they map to.
 SUBMIT_KINDS = ("bounds", "optimize", "power", "mc", "sweep")

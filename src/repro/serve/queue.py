@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -58,6 +59,9 @@ class JobTicket:
         Queue ordering; lower runs sooner.
     waiters:
         How many clients are subscribed (1 + coalesced arrivals).
+    created_s:
+        Monotonic creation stamp (``time.perf_counter``); the server
+        reads it when the ticket starts to report the queue wait.
     """
 
     key: str
@@ -65,6 +69,7 @@ class JobTicket:
     payload: Dict[str, Any]
     priority: int = 0
     waiters: int = 0
+    created_s: float = field(default_factory=time.perf_counter)
     _subscribers: List[asyncio.Queue] = field(default_factory=list)
 
     def subscribe(self) -> asyncio.Queue:

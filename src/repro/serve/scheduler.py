@@ -87,6 +87,14 @@ class JobExecutor:
         """The thread pool a kind's work runs on."""
         return self._heavy if kind in HEAVY_KINDS else self._light
 
+    def pool_name(self, kind: str) -> str:
+        """``"heavy"`` or ``"light"`` -- the pool :meth:`executor_for` picks.
+
+        Job-lifecycle events and the serve metrics report this label so
+        operators can see which pool each kind actually landed on.
+        """
+        return "heavy" if kind in HEAVY_KINDS else "light"
+
     def _process_pool(self) -> ProcessPoolExecutor:
         if self._proc_pool is None:
             self._proc_pool = ProcessPoolExecutor(max_workers=self.procs)

@@ -22,6 +22,7 @@ waiters all receive their ``done`` events), then tears the pools down.
 from __future__ import annotations
 
 import asyncio
+import logging
 import os
 import threading
 import time
@@ -30,6 +31,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro import __version__
 from repro.api.session import Session
+from repro.obs.metrics import MetricsRegistry, serve_metrics
+from repro.obs.trace import Stopwatch
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -44,6 +47,12 @@ from repro.serve.protocol import (
 from repro.serve.queue import JobTicket, PriorityJobQueue, ServeStats
 from repro.serve.scheduler import JobExecutor
 from repro.serve.store import ResultStore
+
+#: The daemon's structured logger.  The package installs a NullHandler
+#: on the root ``repro`` logger, so nothing is emitted unless the
+#: embedding application (or ``pops serve --log-level``) configures
+#: handlers -- opt-in by design.
+log = logging.getLogger("repro.serve")
 
 
 @dataclass
@@ -98,6 +107,10 @@ class PopsServer:
         )
         self.stats = ServeStats()
         self.queue = PriorityJobQueue()
+        #: Lifecycle timing histograms (``serve.queue_wait_s``,
+        #: ``serve.exec_s``) and per-kind/pool counters; snapshotted by
+        #: the ``metrics`` op and the ``status`` timings block.
+        self.metrics = MetricsRegistry()
         self._inflight: Dict[str, JobTicket] = {}
         self._draining = False
         self._shutting_down = False
@@ -149,6 +162,14 @@ class PopsServer:
             self.loop.create_task(self._worker(), name=f"pops-worker-{i}")
             for i in range(n_workers)
         ]
+        log.info(
+            "serving on %s (threads=%d heavy=%d procs=%d store=%s)",
+            self.address,
+            self.config.threads,
+            self.config.heavy_threads,
+            self.config.procs,
+            self.config.store_dir or "none",
+        )
 
     async def wait_closed(self) -> None:
         """Park until a shutdown has fully completed."""
@@ -174,6 +195,12 @@ class PopsServer:
             return
         self._shutting_down = True
         self._draining = True
+        log.info(
+            "shutdown requested (drain=%s, queued=%d, inflight=%d)",
+            drain,
+            self.queue.depth,
+            len(self._inflight),
+        )
         if not drain:
             await self._cancel_backlog()
         await self.queue.join()
@@ -191,6 +218,7 @@ class PopsServer:
                 pass
         assert self._closed is not None
         self._closed.set()
+        log.info("shutdown complete")
 
     async def _cancel_backlog(self) -> None:
         """Fail every queued-but-unstarted ticket (non-drain shutdown)."""
@@ -246,6 +274,9 @@ class PopsServer:
             },
             "pools": self.executor.stats(),
             "session": self.session.cache_stats(),
+            # Job-lifecycle timing summaries (queue wait, execution) --
+            # the extended-status surface of the observability layer.
+            "timings": self.metrics.snapshot()["histograms"],
         }
         if self.store is not None:
             status["store"] = self.store.stats()
@@ -279,6 +310,15 @@ class PopsServer:
                 )
             elif op == "status":
                 await self._send(writer, self.status())
+            elif op == "metrics":
+                await self._send(
+                    writer,
+                    {
+                        "event": "metrics",
+                        "version": PROTOCOL_VERSION,
+                        "metrics": serve_metrics(self),
+                    },
+                )
             elif op == "shutdown":
                 drain = bool(message.get("drain", True))
                 await self._send(
@@ -313,6 +353,7 @@ class PopsServer:
     ) -> None:
         if self._draining:
             self.stats.rejected += 1
+            log.warning("submit rejected: server is draining")
             await self._send(
                 writer,
                 error_event(
@@ -333,6 +374,7 @@ class PopsServer:
             record = self.store.get(key)
             if record is not None:
                 self.stats.store_hits += 1
+                log.info("job %s kind=%s served from store", key[:12], kind)
                 await self._send(
                     writer,
                     {
@@ -370,6 +412,13 @@ class PopsServer:
             self.queue.put(ticket)
         else:
             self.stats.coalesced += 1
+        log.info(
+            "job %s kind=%s accepted (coalesced=%s, queue_depth=%d)",
+            key[:12],
+            kind,
+            coalesced,
+            self.queue.depth,
+        )
         events = ticket.subscribe()
         await self._send(
             writer,
@@ -408,8 +457,27 @@ class PopsServer:
     async def _execute(self, ticket: JobTicket) -> None:
         assert self.loop is not None
         loop = self.loop
+        pool = self.executor.pool_name(ticket.kind)
+        queue_wait_s = time.perf_counter() - ticket.created_s
+        self.metrics.observe("serve.queue_wait_s", queue_wait_s)
+        self.metrics.inc(f"serve.jobs.{ticket.kind}")
+        self.metrics.inc(f"serve.pool.{pool}")
         ticket.publish(
-            {"event": "started", "key": ticket.key, "kind": ticket.kind}
+            {
+                "event": "started",
+                "key": ticket.key,
+                "kind": ticket.kind,
+                "pool": pool,
+                "queue_wait_s": queue_wait_s,
+            }
+        )
+        log.info(
+            "job %s kind=%s started on %s pool (waited %.3fs, waiters=%d)",
+            ticket.key[:12],
+            ticket.kind,
+            pool,
+            queue_wait_s,
+            ticket.waiters,
         )
 
         def progress(event: Dict[str, Any]) -> None:
@@ -418,7 +486,7 @@ class PopsServer:
             payload["key"] = ticket.key
             loop.call_soon_threadsafe(ticket.publish, payload)
 
-        started = time.perf_counter()
+        sw = Stopwatch()
         try:
             record = await loop.run_in_executor(
                 self.executor.executor_for(ticket.kind),
@@ -429,9 +497,22 @@ class PopsServer:
             )
         except Exception as exc:
             self.stats.failed += 1
+            self.metrics.inc("serve.jobs.failed")
+            log.error(
+                "job %s kind=%s failed: %s", ticket.key[:12], ticket.kind, exc
+            )
             outcome = error_event(exc, key=ticket.key)
         else:
             self.stats.executed += 1
+            elapsed_s = sw.elapsed_s
+            self.metrics.observe("serve.exec_s", elapsed_s)
+            log.info(
+                "job %s kind=%s done in %.3fs (fan-out to %d waiter(s))",
+                ticket.key[:12],
+                ticket.kind,
+                elapsed_s,
+                ticket.waiters,
+            )
             if self.store is not None:
                 self.store.put(ticket.key, record)
             outcome = {
@@ -439,7 +520,8 @@ class PopsServer:
                 "key": ticket.key,
                 "record": record,
                 "cached": False,
-                "elapsed_s": time.perf_counter() - started,
+                "elapsed_s": elapsed_s,
+                "pool": pool,
                 "waiters": ticket.waiters,
             }
         self._inflight.pop(ticket.key, None)

@@ -81,15 +81,71 @@ BATCH_PROBE_MIN_COLUMNS = 128
 DEFAULT_CHUNK_COLUMNS = 256
 
 
+class DispatchStats:
+    """Process-wide tally of :func:`should_batch` decisions.
+
+    Every call site that picks batch-vs-scalar goes through
+    :func:`should_batch`, so this one object answers "how often does the
+    batch path actually fire, over how many columns, against which
+    threshold" -- the numbers needed to tune
+    :data:`BATCH_PROBE_MIN_COLUMNS`.  Read through
+    ``repro.obs.session_metrics`` (the ``"probe"`` block); reset only in
+    tests.
+    """
+
+    __slots__ = ("batched", "scalar", "columns_batched", "columns_scalar")
+
+    def __init__(self) -> None:
+        self.batched = 0
+        self.scalar = 0
+        self.columns_batched = 0
+        self.columns_scalar = 0
+
+    def record(self, n_columns: int, batched: bool) -> None:
+        """Tally one dispatch decision over ``n_columns`` probes."""
+        if batched:
+            self.batched += 1
+            self.columns_batched += n_columns
+        else:
+            self.scalar += 1
+            self.columns_scalar += n_columns
+
+    def reset(self) -> None:
+        """Zero all tallies (test isolation)."""
+        self.batched = 0
+        self.scalar = 0
+        self.columns_batched = 0
+        self.columns_scalar = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-native view, including the configured default threshold."""
+        decisions = self.batched + self.scalar
+        return {
+            "batched": self.batched,
+            "scalar": self.scalar,
+            "columns_batched": self.columns_batched,
+            "columns_scalar": self.columns_scalar,
+            "threshold": BATCH_PROBE_MIN_COLUMNS,
+            "batch_ratio": (self.batched / decisions) if decisions else None,
+        }
+
+
+#: The shared dispatch tally (see :class:`DispatchStats`).
+DISPATCH_STATS = DispatchStats()
+
+
 def should_batch(n_columns: int, min_columns: Optional[int] = None) -> bool:
     """Decide scalar-vs-batch for ``n_columns`` simultaneous probes.
 
     ``min_columns`` overrides :data:`BATCH_PROBE_MIN_COLUMNS`; both
     paths return bit-identical results, so the choice is purely a
-    performance trade (see the module docstring).
+    performance trade (see the module docstring).  Each decision is
+    tallied on :data:`DISPATCH_STATS` for the observability layer.
     """
     limit = BATCH_PROBE_MIN_COLUMNS if min_columns is None else min_columns
-    return n_columns >= limit
+    batched = n_columns >= limit
+    DISPATCH_STATS.record(n_columns, batched)
+    return batched
 
 
 class _Column:

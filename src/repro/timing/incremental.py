@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cells.library import Library
 from repro.netlist.circuit import Circuit
@@ -119,6 +119,11 @@ class IncrementalSta:
         )
         self.wire_model = wire_model
         self.stats = IncrementalStats()
+        # Optional repro.obs tracer.  None (the default) keeps update()
+        # on its fastest path: one None check per call, no span
+        # bookkeeping -- the contract the benchmarks/test_perf_obs.py
+        # overhead gate enforces.
+        self.tracer: Optional[Any] = None
         self._arrivals: Dict[str, Dict[Edge, ArrivalEvent]] = {}
         self.rebuild()
 
@@ -203,7 +208,28 @@ class IncrementalSta:
         superset (even every gate name) is correct and only costs the
         diff.  Raises ``KeyError`` on names that are not gates -- a
         structural edit requires :meth:`refresh_structure` instead.
+
+        When a :attr:`tracer` is attached (and enabled) each update
+        emits an ``sta.update`` event carrying the cone size actually
+        re-evaluated; with no tracer the cost over :meth:`_update_core`
+        is a single attribute check.
         """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return self._update_core(changed_gates)
+        before = self.stats.gates_reevaluated
+        truncated_before = self.stats.cone_truncations
+        result = self._update_core(changed_gates)
+        tracer.event(
+            "sta.update",
+            circuit=self.circuit.name,
+            cone_gates=self.stats.gates_reevaluated - before,
+            cone_truncations=self.stats.cone_truncations - truncated_before,
+        )
+        return result
+
+    def _update_core(self, changed_gates: Iterable[str]) -> StaResult:
+        """The uninstrumented body of :meth:`update` (perf-gate baseline)."""
         self.stats.updates += 1
         dirty: Set[str] = set()
         load_dirty: Set[str] = set()

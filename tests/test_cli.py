@@ -336,3 +336,77 @@ class TestServeCli:
         assert main(["status", "--socket", sock, "--json"]) == 2
         body = json.loads(capsys.readouterr().out)
         assert body["error"]["type"] == "ServeClientError"
+
+
+class TestTrace:
+    def test_optimize_trace_flag_writes_jsonl(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        assert main(
+            ["optimize", "fpd", "--tc-ratio", "1.4", "--scope", "circuit",
+             "--trace", trace, "--json"]
+        ) == 0
+        captured = capsys.readouterr()
+        record = json.loads(captured.out)
+        assert record["telemetry"]["passes"]
+        assert "span(s)" in captured.err
+        with open(trace, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert "trace" in lines[0]
+        names = {line.get("name") for line in lines[1:]}
+        assert "session.optimize" in names
+        assert "optimize.pass" in names
+
+    def test_trace_renders_jsonl(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        assert main(
+            ["optimize", "fpd", "--tc-ratio", "1.4", "--trace", trace]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "session.optimize" in out
+        assert "cumulative by name" in out
+
+    def test_trace_renders_record_telemetry(self, tmp_path, capsys):
+        record_path = tmp_path / "run.json"
+        assert main(
+            ["optimize", "fpd", "--tc-ratio", "1.4", "--scope", "circuit",
+             "--json"]
+        ) == 0
+        record_path.write_text(capsys.readouterr().out)
+        assert main(["trace", str(record_path)]) == 0
+        out = capsys.readouterr().out
+        assert "pass   delay_ps" in out
+        assert "delay    :" in out
+
+    def test_trace_missing_file_is_a_clean_error(self, capsys):
+        assert main(["trace", "/nonexistent/trace.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_untraced_optimize_has_no_telemetry_key_without_timing(
+        self, capsys
+    ):
+        assert main(["optimize", "fpd", "--tc-ratio", "1.4", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        # Path-scope runs carry no optimizer telemetry block.
+        assert "telemetry" not in record
+
+    def test_status_shows_hit_rate_column(self, tmp_path, capsys):
+        from repro.serve import ServeConfig, start_server_thread
+
+        sock = str(tmp_path / "pops.sock")
+        server, thread = start_server_thread(
+            ServeConfig(socket_path=sock, threads=1, heavy_threads=1)
+        )
+        try:
+            assert main(
+                ["submit", "bounds", "fpd", "--socket", sock, "--quiet"]
+            ) == 0
+            capsys.readouterr()
+            assert main(["status", "--socket", sock]) == 0
+            out = capsys.readouterr().out
+            assert "hit rate" in out
+        finally:
+            server.request_shutdown(drain=True)
+            thread.join(timeout=30)
+        assert not thread.is_alive()

@@ -107,6 +107,7 @@ class TestBoundedCache:
         assert cache.get("b") is None
         assert cache.stats() == {
             "size": 1, "maxsize": None, "hits": 1, "misses": 1, "evictions": 0,
+            "hit_rate": 0.5,
         }
 
     def test_lru_eviction_order(self):
