@@ -74,6 +74,11 @@ class Job:
         that produced it.  Serialization is backward compatible: unset
         fields are omitted from :meth:`to_dict`, so analytic-default
         jobs keep their historical byte form.
+    timeout_s:
+        Optional per-job deadline in seconds, enforced by the serve
+        executor (a submit-level ``timeout_s`` overrides it).  ``None``
+        (the default) means no deadline; unset it is omitted from
+        :meth:`to_dict`, keeping historical byte forms and store keys.
     label:
         Free-form tag echoed into the run record (campaign bookkeeping).
     """
@@ -97,6 +102,7 @@ class Job:
     mc_seed: int = 42
     backend: Optional[str] = None
     liberty: Optional[str] = None
+    timeout_s: Optional[float] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -142,6 +148,15 @@ class Job:
             raise JobError(f"liberty must be a path string, got {self.liberty!r}")
         if self.liberty is not None and self.backend != "nldm":
             raise JobError("liberty applies only to backend='nldm' jobs")
+        if self.timeout_s is not None:
+            if (
+                isinstance(self.timeout_s, bool)
+                or not isinstance(self.timeout_s, (int, float))
+                or self.timeout_s <= 0
+            ):
+                raise JobError(
+                    f"timeout_s must be a positive number, got {self.timeout_s!r}"
+                )
 
     # -- derived -------------------------------------------------------
 
@@ -176,9 +191,10 @@ class Job:
         data = {f.name: getattr(self, f.name) for f in fields(self)}
         if self.circuit is not None:
             data["circuit"] = circuit_to_dict(self.circuit)
-        # Backend identity is emitted only when pinned: analytic-default
-        # jobs keep the historical byte form (store keys, goldens).
-        for name in ("backend", "liberty"):
+        # Backend identity and deadline are emitted only when pinned:
+        # default jobs keep the historical byte form (store keys,
+        # goldens).
+        for name in ("backend", "liberty", "timeout_s"):
             if data[name] is None:
                 del data[name]
         return data

@@ -25,6 +25,7 @@ guaranteed to produce payloads byte-identical to the serial loop.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
@@ -67,6 +68,8 @@ from repro.timing.sta import StaResult
 #: Circuit state key: structure plus sizing, hashable.
 StateKey = Tuple
 
+log = logging.getLogger("repro.session")
+
 
 @dataclass
 class SessionStats:
@@ -87,6 +90,11 @@ class SessionStats:
     probe_hits: int = 0
     probe_misses: int = 0
     jobs_run: int = 0
+    # Process-pool supervision (see optimize_many): broken-pool events,
+    # fresh-pool retries, and batches that fell back to the serial loop.
+    pool_broken: int = 0
+    pool_retries: int = 0
+    pool_fallbacks: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view for logging."""
@@ -778,15 +786,50 @@ class Session:
         # pool path ship (and echo) byte-identical job dicts.
         job_list = [self._prepare_job(job) for job in job_list]
         if workers and workers > 1 and len(job_list) > 1:
-            try:
-                return self._optimize_parallel(job_list, workers)
-            except POOL_ERRORS:
-                # Process pools need working semaphores / fork support;
-                # restricted environments (sandboxes, some CI runners)
-                # deny them -- the serial path is always available.  Job
-                # failures never land here: workers marshal them back and
-                # _optimize_parallel re-raises the original exception.
-                pass
+            # Two distinct failure classes (never conflated -- the old
+            # bare `except POOL_ERRORS: pass` hid crashed workers behind
+            # the no-subprocess fallback):
+            #
+            # * transport/import errors mean this environment cannot run
+            #   subprocesses at all -- fall back to serial immediately;
+            # * BrokenProcessPool means a *worker died mid-batch* (OOM
+            #   kill, segfault, injected crash).  The batch is safe to
+            #   re-run -- jobs are pure functions of their specs -- so
+            #   retry once on a fresh pool before surrendering to serial.
+            #
+            # Job failures never land here: workers marshal them back
+            # and _optimize_parallel re-raises the original exception.
+            for attempt in (0, 1):
+                try:
+                    return self._optimize_parallel(job_list, workers)
+                except BrokenProcessPool as exc:
+                    self.stats.pool_broken += 1
+                    if attempt == 0:
+                        self.stats.pool_retries += 1
+                        log.warning(
+                            "optimize_many: worker crashed mid-batch (%s); "
+                            "retrying once on a fresh pool",
+                            exc,
+                        )
+                        continue
+                    log.error(
+                        "optimize_many: pool broke again on retry (%s); "
+                        "falling back to the serial loop",
+                        exc,
+                    )
+                    break
+                except (OSError, ImportError) as exc:
+                    # Process pools need working semaphores / fork
+                    # support; restricted environments (sandboxes, some
+                    # CI runners) deny them -- the serial path is always
+                    # available.
+                    log.warning(
+                        "optimize_many: process pool unavailable (%s); "
+                        "running the batch serially",
+                        exc,
+                    )
+                    break
+            self.stats.pool_fallbacks += 1
         return [self.optimize(job) for job in job_list]
 
     def _optimize_parallel(self, jobs: Sequence[Job], workers: int) -> List[RunRecord]:
@@ -843,6 +886,9 @@ def _optimize_job_worker(task: Tuple[Library, Dict, Optional[str], Dict]) -> Dic
     tell them apart from pool breakage.
     """
     library, limits, bench_dir, job_dict = task
+    from repro.resilience import faults
+
+    faults.maybe_crash(faults.SITE_WORKER_CRASH)
     session = worker_session(library, limits, bench_dir)
     try:
         return session.optimize(Job.from_dict(job_dict)).to_dict()

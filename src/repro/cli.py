@@ -524,13 +524,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _serve_client(args: argparse.Namespace):
     """A :class:`repro.serve.ServeClient` for the daemon args address."""
+    from repro.resilience import RetryPolicy
     from repro.serve import ServeClient
 
+    retries = getattr(args, "retries", None)
+    retry = RetryPolicy(attempts=retries) if retries else None
     if getattr(args, "port", None):
         return ServeClient(
-            host=args.host, port=args.port, timeout_s=args.timeout
+            host=args.host, port=args.port, timeout_s=args.timeout,
+            retry=retry,
         )
-    return ServeClient(socket_path=args.socket, timeout_s=args.timeout)
+    return ServeClient(
+        socket_path=args.socket, timeout_s=args.timeout, retry=retry
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -539,6 +545,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import logging
     import signal
 
+    from repro.resilience import RetryPolicy
     from repro.serve import PopsServer, ServeConfig
 
     if args.log_level:
@@ -558,6 +565,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_dir=args.store,
         cache_limit=args.cache_limit,
         bench_dir=args.bench_dir,
+        timeout_s=args.job_timeout,
+        retry=RetryPolicy(attempts=max(1, args.retries)),
+        breaker_failures=args.breaker_failures,
+        breaker_cooldown_s=args.breaker_cooldown,
     )
 
     async def daemon() -> None:
@@ -625,6 +636,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         priority=args.priority,
         no_cache=args.no_cache,
         on_event=on_event,
+        timeout_s=args.deadline,
     )
     record = done["record"]
     if getattr(args, "json", False):
@@ -660,6 +672,17 @@ def _cmd_serve_status(args: argparse.Namespace) -> int:
         "serve    : "
         + ", ".join(f"{k}={serve[k]}" for k in sorted(serve))
     )
+    resilience = status["resilience"]
+    breaker = resilience["breaker"]
+    counters = resilience["counters"]
+    parts = [f"breaker={breaker['state']}"]
+    if resilience["timeout_s"] is not None:
+        parts.append(f"deadline={resilience['timeout_s']:g}s")
+    parts.append(f"retry_attempts={resilience['retry']['attempts']}")
+    parts.extend(
+        f"{name.split('.', 1)[1]}={counters[name]}" for name in sorted(counters)
+    )
+    print("resilience: " + ", ".join(parts))
     caches = status["session"]["caches"]
     rows = [
         (
@@ -1010,6 +1033,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--bench-dir", default=None, help="real .bench directory")
     p_serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-job deadline (jobs/submits may override; "
+        "unset = no deadline)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=3,
+        help="pool-supervision attempts per job after a worker crash "
+        "(default 3)",
+    )
+    p_serve.add_argument(
+        "--breaker-failures", type=int, default=3,
+        help="consecutive pool failures before the circuit breaker trips "
+        "to in-thread execution (default 3)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="open-breaker cooldown before a half-open probe (default 30)",
+    )
+    p_serve.add_argument(
         "--log-level",
         choices=("debug", "info", "warning", "error"),
         default=None,
@@ -1032,6 +1074,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument(
         "--no-cache", action="store_true",
         help="bypass the daemon's result store",
+    )
+    p_submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="server-side job deadline (--timeout is the client socket "
+        "timeout)",
+    )
+    p_submit.add_argument(
+        "--retries", type=int, default=3,
+        help="client reconnect-and-resubmit attempts on a dropped "
+        "stream (default 3)",
     )
     submit_tc = p_submit.add_mutually_exclusive_group()
     submit_tc.add_argument("--tc-ps", type=float, default=None,

@@ -25,7 +25,9 @@ points from disk instead of recomputing them.
 
 from __future__ import annotations
 
+import logging
 import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -35,10 +37,10 @@ from repro.api.job import Job, SweepSpec
 from repro.api.records import KIND_OPTIMIZE_CIRCUIT, KIND_SWEEP, RunRecord
 from repro.api.session import (
     JOB_ERROR_KEY,
-    POOL_ERRORS,
     Session,
     worker_session,
 )
+from repro.resilience import faults
 from repro.cells.library import Library
 from repro.explore.store import CampaignError, CampaignStore
 from repro.explore.summary import SweepSummary, summarize
@@ -57,6 +59,8 @@ YIELD_SEED = 42
 #: Per-point progress callback: ``(done, total, label)``.
 ProgressFn = Callable[[int, int, str], None]
 
+log = logging.getLogger("repro.explore")
+
 
 class _ChunkJobError(Exception):
     """Internal wrapper: a *job* failed inside a pool chunk.
@@ -66,7 +70,7 @@ class _ChunkJobError(Exception):
     bare from the pool path would let them masquerade as
     pool-infrastructure failures and trigger a pointless full serial
     recompute before failing identically.  The wrapper keeps them out of
-    the ``POOL_ERRORS`` fallback; the runner unwraps it at the boundary.
+    the pool-supervision fallbacks; the runner unwraps it at the boundary.
     """
 
     def __init__(self, original: BaseException) -> None:
@@ -175,6 +179,7 @@ def _sweep_chunk_worker(
     breakage, which surfaces as the pool exception itself.
     """
     library, limits, bench_dir, job_dicts = task
+    faults.maybe_crash(faults.SITE_WORKER_CRASH)
     session = worker_session(library, limits, bench_dir)
     warm = WarmStart()
     out: List[Dict] = []
@@ -358,24 +363,66 @@ def run_sweep(
     fresh: Dict[str, RunRecord] = {}
     chunks = _chunks(pending, chunk_size)
     if workers and workers > 1 and len(chunks) > 1:
+        # Pool supervision, same contract as Session.optimize_many: a
+        # transport/import error means "no subprocesses here" -- serial
+        # fallback, once, with a log line; a BrokenProcessPool means a
+        # worker *died mid-sweep* -- retry the not-yet-delivered chunks
+        # once on a fresh pool (delivered chunks are already journaled,
+        # so only the remainder re-runs) before surrendering to serial.
+        for attempt in (0, 1):
+            todo = _chunks(
+                [j for j in pending if (j.label or j.name) not in fresh],
+                chunk_size,
+            )
+            if not todo:
+                break
 
-        def on_chunk(index: int, records: List[RunRecord]) -> None:
-            for job, record in zip(chunks[index], records):
-                after_point(job, record)
-                fresh[job.label or job.name] = record
+            def on_chunk(
+                index: int,
+                records: List[RunRecord],
+                _todo: List[List[Job]] = todo,
+            ) -> None:
+                for job, record in zip(_todo[index], records):
+                    after_point(job, record)
+                    fresh[job.label or job.name] = record
 
-        try:
-            _parallel_chunks(session, chunks, workers, on_chunk)
-        except _ChunkJobError as exc:
-            # A job itself failed: completed points are journaled, the
-            # original exception surfaces (resume picks up from there).
-            raise exc.original
-        except POOL_ERRORS:
-            # Same contract as Session.optimize_many: pool infrastructure
-            # failures mean "no subprocesses here", not "job failed".
-            # Chunks that did complete are already journaled; the serial
-            # loop below transparently picks up only the remainder.
-            pass
+            try:
+                _parallel_chunks(session, todo, workers, on_chunk)
+                break
+            except _ChunkJobError as exc:
+                # A job itself failed: completed points are journaled,
+                # the original exception surfaces (resume picks up from
+                # there).
+                raise exc.original
+            except BrokenProcessPool as exc:
+                session.stats.pool_broken += 1
+                if attempt == 0:
+                    session.stats.pool_retries += 1
+                    log.warning(
+                        "run_sweep: worker crashed mid-sweep (%s); "
+                        "retrying the remaining chunks on a fresh pool",
+                        exc,
+                    )
+                    continue
+                session.stats.pool_fallbacks += 1
+                log.error(
+                    "run_sweep: pool broke again on retry (%s); finishing "
+                    "the sweep serially",
+                    exc,
+                )
+                break
+            except (OSError, ImportError) as exc:
+                # Pool infrastructure failure: "no subprocesses here",
+                # not "job failed".  Chunks that did complete are
+                # already journaled; the serial loop below transparently
+                # picks up only the remainder.
+                session.stats.pool_fallbacks += 1
+                log.warning(
+                    "run_sweep: process pool unavailable (%s); finishing "
+                    "the sweep serially",
+                    exc,
+                )
+                break
     remaining = [job for job in pending if (job.label or job.name) not in fresh]
     for chunk in _chunks(remaining, chunk_size):
         for record in _run_chunk(session, chunk, after_point=after_point):

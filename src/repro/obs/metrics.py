@@ -245,8 +245,9 @@ def serve_metrics(server: Any) -> Dict[str, Any]:
 
     Adds the daemon's job counters (with derived coalescing ratio),
     queue depth / in-flight gauges, executor pool shape, result-store
-    counters and the server registry's lifecycle histograms
-    (``serve.queue_wait_s``, ``serve.exec_s``).
+    counters, the executor's resilience state (retry/breaker/deadline
+    configuration, ``resilience.*`` counters) and the server registry's
+    lifecycle histograms (``serve.queue_wait_s``, ``serve.exec_s``).
     """
     snap = session_metrics(server.session)
     counters = server.stats.as_dict()
@@ -259,5 +260,6 @@ def serve_metrics(server: Any) -> Dict[str, Any]:
     serve["pools"] = server.executor.stats()
     snap["serve"] = serve
     snap["store"] = None if server.store is None else server.store.stats()
+    snap["resilience"] = server.executor.resilience_stats()
     snap["timings"] = server.metrics.snapshot()["histograms"]
     return snap

@@ -1,0 +1,33 @@
+"""``repro.resilience``: fault tolerance for the serving stack.
+
+Stdlib-only building blocks threaded through serve, the Session batch
+runner and the explore sweep runner:
+
+* :class:`~repro.resilience.policy.RetryPolicy` -- bounded attempts,
+  exponential backoff, deterministic seeded jitter; shared by pool
+  supervision, client reconnects and ``wait_ready`` polling;
+* :class:`~repro.resilience.policy.JobTimeoutError` -- the structured
+  deadline failure (``Job.timeout_s`` / submit-level ``timeout_s``);
+* :class:`~repro.resilience.breaker.CircuitBreaker` -- trips the serve
+  executor to in-thread execution after K consecutive process-pool
+  failures and half-open-probes recovery;
+* :mod:`~repro.resilience.faults` -- the deterministic fault-injection
+  harness (:class:`~repro.resilience.faults.FaultPlan`, named sites,
+  ``POPS_FAULT_PLAN`` env hook) every chaos test drives.
+
+See the "Resilience" section of ``docs/ARCHITECTURE.md`` for the
+failure taxonomy and the retry/breaker defaults.
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultPlan, FaultSpec, InlinePool
+from repro.resilience.policy import JobTimeoutError, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultPlan",
+    "FaultSpec",
+    "InlinePool",
+    "JobTimeoutError",
+    "RetryPolicy",
+]

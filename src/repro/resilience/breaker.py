@@ -1,0 +1,126 @@
+"""A circuit breaker over an unreliable execution path.
+
+The serve executor wraps its optional process pool in a
+:class:`CircuitBreaker`: after ``failures`` *consecutive* pool failures
+the breaker trips **open** and jobs run on the always-available
+in-thread path instead of burning retries against a broken pool.  After
+``cooldown_s`` the breaker lets exactly one probe job through
+(**half-open**); a probe success closes the breaker and the pool path
+resumes, a probe failure re-opens it for another cooldown.
+
+The clock is injectable (``clock=time.monotonic`` by default) so the
+trip/half-open/recovery cycle is unit-testable without sleeping, and
+every transition is counted for the metrics surface.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict
+
+#: Breaker states (the ``state`` field of :meth:`CircuitBreaker.as_dict`).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trip after K consecutive failures; probe recovery after a cooldown.
+
+    Parameters
+    ----------
+    failures:
+        Consecutive failures that trip the breaker open.
+    cooldown_s:
+        Seconds the breaker stays open before allowing a half-open probe.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failures: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failures = failures
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive = 0
+        self._opened_at = 0.0
+        #: Lifetime transition counters (metrics surface).
+        self.trips = 0
+        self.probes = 0
+        self.recoveries = 0
+        self.short_circuits = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (without probing)."""
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether the protected path may be tried right now.
+
+        Closed: always.  Open: ``False`` until ``cooldown_s`` elapsed,
+        then the breaker moves to half-open and admits exactly one
+        probe.  Half-open: ``False`` while the probe is outstanding.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._state = HALF_OPEN
+                    self.probes += 1
+                    return True
+                self.short_circuits += 1
+                return False
+            # Half-open: one probe is already in flight.
+            self.short_circuits += 1
+            return False
+
+    def record_success(self) -> None:
+        """The protected path worked; close (a probe success recovers)."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self.recoveries += 1
+            self._state = CLOSED
+            self._consecutive = 0
+
+    def record_failure(self) -> None:
+        """The protected path failed; trip when the run reaches K."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # A failed probe re-opens immediately.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+                return
+            self._consecutive += 1
+            if self._consecutive >= self.failures and self._state == CLOSED:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-native snapshot for the metrics endpoint."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "failures": self.failures,
+                "cooldown_s": self.cooldown_s,
+                "consecutive_failures": self._consecutive,
+                "trips": self.trips,
+                "probes": self.probes,
+                "recoveries": self.recoveries,
+                "short_circuits": self.short_circuits,
+            }

@@ -1,0 +1,123 @@
+"""Bounded retries with deterministic backoff, and per-job deadlines.
+
+:class:`RetryPolicy` is the one retry shape every layer shares -- the
+serve executor's process-pool supervision, the client's
+reconnect-with-backoff and ``wait_ready`` polling, and the batch/sweep
+runners' pool retries.  Delays grow exponentially from ``base_s`` up to
+``max_delay_s`` with *seeded* jitter: the jitter stream comes from
+``random.Random(seed)``, so two runs of the same policy produce the
+same delay sequence -- chaos tests assert on exact retry behaviour
+instead of sleeping and hoping.
+
+:class:`JobTimeoutError` is the structured deadline failure: the serve
+executor raises it when a job outlives its ``timeout_s``, and the
+server turns it into a ``timeout`` error event (the worker slot is
+freed; the abandoned computation cannot be interrupted mid-flight and
+is left to finish on a detached thread).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+
+class JobTimeoutError(RuntimeError):
+    """A job exceeded its deadline (``Job.timeout_s`` or submit-level).
+
+    ``timeout_s`` carries the deadline that expired so error events and
+    logs can report it without re-parsing the message.
+    """
+
+    def __init__(self, message: str, timeout_s: float) -> None:
+        super().__init__(message)
+        self.timeout_s = float(timeout_s)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts with seeded exponential backoff.
+
+    Attributes
+    ----------
+    attempts:
+        Total tries (first attempt included); ``1`` means no retries.
+    base_s:
+        Delay before the first retry, in seconds.
+    multiplier:
+        Exponential growth factor between consecutive retries.
+    max_delay_s:
+        Hard cap on any single delay.
+    jitter:
+        Fraction of each delay drawn uniformly from
+        ``[0, jitter * delay]`` and added to it -- decorrelates herds of
+        clients without breaking determinism (the draw is seeded).
+    seed:
+        Seed for the jitter stream; equal policies yield equal delays.
+    """
+
+    attempts: int = 3
+    base_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_s < 0:
+            raise ValueError(f"base_s must be >= 0, got {self.base_s}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {self.max_delay_s}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delays(self) -> Iterator[float]:
+        """The deterministic delay (seconds) before each retry.
+
+        Yields ``attempts - 1`` values: the wait before retry 1, retry 2,
+        ...  The jitter stream restarts from :attr:`seed` on every call,
+        so the sequence is a pure function of the policy.
+        """
+        rng = Random(self.seed)
+        delay = self.base_s
+        for _ in range(self.attempts - 1):
+            capped = min(delay, self.max_delay_s)
+            yield capped + (rng.random() * self.jitter * capped)
+            delay *= self.multiplier
+
+    def run(
+        self,
+        fn: Callable[[], "object"],
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> "object":
+        """Call ``fn`` under this policy; return its first success.
+
+        ``retry_on`` names the exception types worth retrying -- anything
+        else propagates immediately.  ``on_retry(attempt, exc)`` fires
+        before each backoff sleep (metrics/logging hook); ``sleep`` is
+        injectable so tests never actually wait.  The final failure
+        re-raises the last exception.
+        """
+        delays = self.delays()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except retry_on as exc:
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    raise exc from None
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if delay > 0:
+                    sleep(delay)

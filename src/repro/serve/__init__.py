@@ -20,7 +20,10 @@ clients:
   (:mod:`repro.serve.store`), so repeat submissions are served from
   disk across daemon restarts;
 * every lifecycle step streams back as a progress event, and shutdown
-  drains the queue before the daemon exits.
+  drains the queue before the daemon exits;
+* failures are supervised (:mod:`repro.resilience`): per-job deadlines,
+  process-pool crash recovery under a retry policy and circuit breaker,
+  client reconnect-and-resume, and a queued-job ``cancel`` op.
 
 ``pops serve`` runs the daemon; ``pops submit`` / ``pops status`` /
 ``pops shutdown`` are the bundled clients

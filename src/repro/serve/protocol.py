@@ -13,8 +13,9 @@ Requests (``op`` discriminates)::
     {"op": "metrics"}
     {"op": "shutdown", "drain": true}
     {"op": "submit", "kind": "optimize", "job": {...Job.to_dict()...},
-     "priority": 0, "no_cache": false}
+     "priority": 0, "no_cache": false, "timeout_s": 30.0}
     {"op": "submit", "kind": "sweep", "spec": {...SweepSpec.to_dict()...}}
+    {"op": "cancel", "key": "<job spec key>"}
 
 Events (``event`` discriminates)::
 
@@ -27,6 +28,15 @@ Events (``event`` discriminates)::
     {"event": "progress", "key": ..., "done": i, "total": n, "label": ...}
     {"event": "done", "key": ..., "record": {...}, "cached": false}
     {"event": "error", "error": {"type": ..., "message": ...}}
+    {"event": "cancelled", "key": ..., "cancelled": true}
+
+A submit-level ``timeout_s`` is the job's deadline (it overrides the
+job's own ``timeout_s`` field) and is deliberately *not* part of the
+spec hash -- the same work under a different deadline is still the same
+work for coalescing and the result store.  ``cancel`` withdraws a
+**queued** job by its spec key: every waiter receives a structured
+error event; a job already on a worker cannot be interrupted and the
+cancel is refused (``"cancelled": false``).
 
 The **job-spec key** is the deduplication identity everything hangs on:
 the SHA-256 of the canonical JSON of ``{"kind": ..., "spec": ...}``.
@@ -46,10 +56,11 @@ from typing import Any, Dict, Tuple
 #: Bumped when the wire format changes incompatibly.
 PROTOCOL_VERSION = 1
 
-#: Request operations a server understands.  ``metrics`` (added in this
-#: protocol version, ignored by older servers as an unknown op) returns
-#: the unified observability snapshot of :func:`repro.obs.serve_metrics`.
-OPS = ("ping", "status", "metrics", "shutdown", "submit")
+#: Request operations a server understands.  ``metrics`` and ``cancel``
+#: (additive within this protocol version; older servers answer an
+#: unknown-op error) return the unified observability snapshot of
+#: :func:`repro.obs.serve_metrics` and withdraw a queued job.
+OPS = ("ping", "status", "metrics", "shutdown", "submit", "cancel")
 
 #: Submittable work kinds and the Session/explore surface they map to.
 SUBMIT_KINDS = ("bounds", "optimize", "power", "mc", "sweep")
@@ -126,7 +137,25 @@ def validate_submit(message: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
     priority = message.get("priority", 0)
     if not isinstance(priority, int) or isinstance(priority, bool):
         raise ProtocolError(f"priority must be an integer, got {priority!r}")
+    timeout_s = message.get("timeout_s")
+    if timeout_s is not None:
+        if (
+            isinstance(timeout_s, bool)
+            or not isinstance(timeout_s, (int, float))
+            or timeout_s <= 0
+        ):
+            raise ProtocolError(
+                f"timeout_s must be a positive number, got {timeout_s!r}"
+            )
     return str(kind), payload
+
+
+def validate_cancel(message: Dict[str, Any]) -> str:
+    """Check a cancel request; return the job spec key to withdraw."""
+    key = message.get("key")
+    if not isinstance(key, str) or not key:
+        raise ProtocolError(f"cancel needs a job spec 'key', got {key!r}")
+    return key
 
 
 def error_event(exc: BaseException, **fields: Any) -> Dict[str, Any]:

@@ -29,7 +29,10 @@ class ServeStats:
     ``store_hits`` were answered from the content-addressed store,
     ``coalesced`` attached to an in-flight ticket, and the rest were
     enqueued and eventually ``executed`` or ``failed``.  ``rejected``
-    counts submits refused because the daemon was draining.
+    counts submits refused because the daemon was draining;
+    ``cancelled`` counts queued tickets withdrawn by the ``cancel`` op,
+    and ``timeouts`` the jobs that died on their deadline (a subset of
+    ``failed``).
     """
 
     submitted: int = 0
@@ -39,6 +42,8 @@ class ServeStats:
     store_hits: int = 0
     rejected: int = 0
     connections: int = 0
+    cancelled: int = 0
+    timeouts: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view for the status event."""
@@ -57,19 +62,30 @@ class JobTicket:
         What to run (``payload`` is the serialized Job or SweepSpec).
     priority:
         Queue ordering; lower runs sooner.
+    timeout_s:
+        Optional submit-level deadline for this job (overrides the
+        job's own ``timeout_s`` field and the executor default).
     waiters:
         How many clients are subscribed (1 + coalesced arrivals).
     created_s:
         Monotonic creation stamp (``time.perf_counter``); the server
         reads it when the ticket starts to report the queue wait.
+    started / cancelled:
+        Lifecycle flags: ``started`` flips when a worker picks the
+        ticket up (a started job can no longer be cancelled);
+        ``cancelled`` marks a withdrawn ticket so the worker that
+        eventually dequeues it skips execution.
     """
 
     key: str
     kind: str
     payload: Dict[str, Any]
     priority: int = 0
+    timeout_s: Optional[float] = None
     waiters: int = 0
     created_s: float = field(default_factory=time.perf_counter)
+    started: bool = False
+    cancelled: bool = False
     _subscribers: List[asyncio.Queue] = field(default_factory=list)
 
     def subscribe(self) -> asyncio.Queue:

@@ -33,6 +33,7 @@ from repro import __version__
 from repro.api.session import Session
 from repro.obs.metrics import MetricsRegistry, serve_metrics
 from repro.obs.trace import Stopwatch
+from repro.resilience import CircuitBreaker, JobTimeoutError, RetryPolicy
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -41,6 +42,7 @@ from repro.serve.protocol import (
     encode_line,
     error_event,
     job_spec_key,
+    validate_cancel,
     validate_request,
     validate_submit,
 )
@@ -63,6 +65,15 @@ class ServeConfig:
     default surface) or ``host``/``port`` (TCP loopback; port 0 binds an
     ephemeral port, readable from :attr:`PopsServer.address` after
     start).
+
+    The resilience knobs (see ``docs/ARCHITECTURE.md`` "Resilience"):
+    ``timeout_s`` is the default per-job deadline (``None`` disables
+    deadlines; jobs and submits can override per request); ``retry`` is
+    the pool-supervision backoff policy; ``breaker_failures`` /
+    ``breaker_cooldown_s`` shape the circuit breaker that trips
+    process-pool execution to in-thread after consecutive worker
+    crashes.  ``pool_factory`` injects a process-pool constructor
+    (chaos tests pass :class:`repro.resilience.InlinePool`).
     """
 
     socket_path: Optional[str] = None
@@ -74,6 +85,11 @@ class ServeConfig:
     store_dir: Optional[str] = None
     cache_limit: Optional[int] = 1024
     bench_dir: Optional[str] = None
+    timeout_s: Optional[float] = None
+    retry: Optional[RetryPolicy] = None
+    breaker_failures: int = 3
+    breaker_cooldown_s: float = 30.0
+    pool_factory: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if (self.socket_path is None) == (self.host is None):
@@ -96,21 +112,30 @@ class PopsServer:
                 bench_dir=config.bench_dir, cache_limit=config.cache_limit
             )
         )
+        #: Lifecycle timing histograms (``serve.queue_wait_s``,
+        #: ``serve.exec_s``), per-kind/pool counters and the executor's
+        #: ``resilience.*`` counters; snapshotted by the ``metrics`` op
+        #: and the ``status`` timings block.
+        self.metrics = MetricsRegistry()
         self.executor = JobExecutor(
             self.session,
             threads=config.threads,
             heavy_threads=config.heavy_threads,
             procs=config.procs,
+            retry=config.retry,
+            breaker=CircuitBreaker(
+                failures=config.breaker_failures,
+                cooldown_s=config.breaker_cooldown_s,
+            ),
+            metrics=self.metrics,
+            timeout_s=config.timeout_s,
+            pool_factory=config.pool_factory,
         )
         self.store = (
             ResultStore(config.store_dir) if config.store_dir else None
         )
         self.stats = ServeStats()
         self.queue = PriorityJobQueue()
-        #: Lifecycle timing histograms (``serve.queue_wait_s``,
-        #: ``serve.exec_s``) and per-kind/pool counters; snapshotted by
-        #: the ``metrics`` op and the ``status`` timings block.
-        self.metrics = MetricsRegistry()
         self._inflight: Dict[str, JobTicket] = {}
         self._draining = False
         self._shutting_down = False
@@ -273,6 +298,7 @@ class PopsServer:
                 "inflight": len(self._inflight),
             },
             "pools": self.executor.stats(),
+            "resilience": self.executor.resilience_stats(),
             "session": self.session.cache_stats(),
             # Job-lifecycle timing summaries (queue wait, execution) --
             # the extended-status surface of the observability layer.
@@ -331,6 +357,8 @@ class PopsServer:
                 )
                 assert self.loop is not None
                 self.loop.create_task(self.shutdown(drain=drain))
+            elif op == "cancel":
+                await self._handle_cancel(message, writer)
             elif op == "submit":
                 await self._handle_submit(message, writer)
         except (ConnectionResetError, BrokenPipeError):
@@ -407,6 +435,7 @@ class PopsServer:
                 kind=kind,
                 payload=payload,
                 priority=int(message.get("priority", 0)),
+                timeout_s=message.get("timeout_s"),
             )
             self._inflight[key] = ticket
             self.queue.put(ticket)
@@ -439,6 +468,35 @@ class PopsServer:
             if event.get("event") in ("done", "error"):
                 break
 
+    async def _handle_cancel(
+        self, message: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        """Withdraw a queued (not yet started) job by its spec key."""
+        try:
+            key = validate_cancel(message)
+        except ProtocolError as exc:
+            await self._send(writer, error_event(exc))
+            return
+        ticket = self._inflight.get(key)
+        cancelled = ticket is not None and not ticket.started
+        if cancelled:
+            assert ticket is not None
+            ticket.cancelled = True
+            self._inflight.pop(key, None)
+            self.stats.cancelled += 1
+            self.metrics.inc("serve.jobs.cancelled")
+            log.info("job %s cancelled while queued", key[:12])
+            ticket.publish(
+                error_event(
+                    RuntimeError("job cancelled before it started"),
+                    key=key,
+                    cancelled=True,
+                )
+            )
+        await self._send(
+            writer, {"event": "cancelled", "key": key, "cancelled": cancelled}
+        )
+
     # -- queue workers --------------------------------------------------
 
     async def _worker(self) -> None:
@@ -450,13 +508,15 @@ class PopsServer:
                 return
             await self._gate.wait()
             try:
-                await self._execute(ticket)
+                if not ticket.cancelled:
+                    await self._execute(ticket)
             finally:
                 self.queue.task_done()
 
     async def _execute(self, ticket: JobTicket) -> None:
         assert self.loop is not None
         loop = self.loop
+        ticket.started = True
         pool = self.executor.pool_name(ticket.kind)
         queue_wait_s = time.perf_counter() - ticket.created_s
         self.metrics.observe("serve.queue_wait_s", queue_wait_s)
@@ -494,6 +554,21 @@ class PopsServer:
                 ticket.kind,
                 ticket.payload,
                 progress,
+                ticket.timeout_s,
+            )
+        except JobTimeoutError as exc:
+            self.stats.failed += 1
+            self.stats.timeouts += 1
+            self.metrics.inc("serve.jobs.failed")
+            self.metrics.inc("serve.jobs.timeout")
+            log.error(
+                "job %s kind=%s timed out after %gs",
+                ticket.key[:12],
+                ticket.kind,
+                exc.timeout_s,
+            )
+            outcome = error_event(
+                exc, key=ticket.key, timeout=True, timeout_s=exc.timeout_s
             )
         except Exception as exc:
             self.stats.failed += 1
@@ -532,6 +607,7 @@ def start_server_thread(
     config: ServeConfig,
     session: Optional[Session] = None,
     timeout_s: float = 30.0,
+    server: Optional[PopsServer] = None,
 ) -> Tuple[PopsServer, threading.Thread]:
     """Run a daemon on a background thread; return once it listens.
 
@@ -539,9 +615,12 @@ def start_server_thread(
     talks to the returned server through a
     :class:`~repro.serve.client.ServeClient` (or its thread-safe
     ``pause``/``resume``/``request_shutdown`` affordances) and joins the
-    thread after requesting shutdown.
+    thread after requesting shutdown.  A prebuilt ``server`` (already
+    constructed from ``config``, e.g. with an injected pool factory) can
+    be passed instead of having one constructed here.
     """
-    server = PopsServer(config, session=session)
+    if server is None:
+        server = PopsServer(config, session=session)
     ready = threading.Event()
     failure: List[BaseException] = []
 

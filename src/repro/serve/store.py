@@ -10,10 +10,15 @@ directory small under millions of records)::
       ab/
         abcdef....json    # one lossless RunRecord envelope per key
 
-Writes are atomic (temp file + ``os.replace``), so a crash mid-write
-can never leave a torn record: the key either resolves to a complete
-envelope or misses and the job is recomputed.  A stored file that fails
-to parse is treated as a miss and overwritten by the next completion.
+Writes are atomic (temp file + ``os.replace``), so the store's own
+writer can never leave a torn record.  Files can still arrive corrupt
+from outside the atomic path -- a torn copy into the directory, disk
+corruption, a truncating backup restore -- and those are **quarantined**
+on first contact: the unparsable file is renamed to ``<key>.json.corrupt``
+(counted in :meth:`ResultStore.stats`), the lookup reports a miss, and
+the next completion rewrites the key.  ``key in store`` answers through
+the same read path as :meth:`ResultStore.get`, so membership and
+retrieval can never disagree about a corrupt entry.
 """
 
 from __future__ import annotations
@@ -22,6 +27,11 @@ import json
 import os
 import tempfile
 from typing import Any, Dict, Optional
+
+from repro.resilience import faults
+
+#: Suffix quarantined (unparsable) record files are renamed to.
+CORRUPT_SUFFIX = ".corrupt"
 
 
 class ResultStore:
@@ -32,6 +42,7 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultStore({self.root!r}, hits={self.hits}, misses={self.misses})"
@@ -40,16 +51,41 @@ class ResultStore:
         """Where a key's record lives (whether or not it exists yet)."""
         return os.path.join(self.root, key[:2], f"{key}.json")
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored record dict for a key, or ``None`` on a miss."""
+    def _read(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load a key's record; quarantine and miss on a corrupt file.
+
+        The single read path behind :meth:`get` and ``in``: a file that
+        exists but does not parse to a dict is renamed to
+        ``*.corrupt`` (never re-read, counted in :attr:`quarantined`)
+        so membership, retrieval and the next overwrite all agree it is
+        gone.
+        """
         path = self.path_for(key)
         try:
             with open(path, encoding="utf-8") as handle:
                 record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
+        except OSError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
             return None
         if not isinstance(record, dict):
+            self._quarantine(path)
+            return None
+        return record
+
+    def _quarantine(self, path: str) -> None:
+        """Move an unparsable record aside (keep the evidence)."""
+        try:
+            os.replace(path, path + CORRUPT_SUFFIX)
+        except OSError:  # pragma: no cover - lost the race / read-only fs
+            return
+        self.quarantined += 1
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record dict for a key, or ``None`` on a miss."""
+        record = self._read(key)
+        if record is None:
             self.misses += 1
             return None
         self.hits += 1
@@ -59,13 +95,18 @@ class ResultStore:
         """Atomically file a completed record under its key."""
         path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = json.dumps(record, sort_keys=True) + "\n"
+        if faults.fire(faults.SITE_TORN_WRITE) is not None:
+            # Injected torn write: land half the bytes at the final path
+            # (simulating a non-atomic writer / interrupted copy) so the
+            # quarantine path is exercised by real on-disk state.
+            payload = payload[: max(1, len(payload) // 2)]
         fd, tmp = tempfile.mkstemp(
             dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, sort_keys=True)
-                handle.write("\n")
+                handle.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -77,13 +118,21 @@ class ResultStore:
         return path
 
     def __contains__(self, key: str) -> bool:
-        return os.path.exists(self.path_for(key))
+        """Whether :meth:`get` would hit (corrupt files answer False)."""
+        return self._read(key) is not None
 
     def count(self) -> int:
         """Number of records on disk (a walk; observability only)."""
         total = 0
         for _, _, files in os.walk(self.root):
             total += sum(1 for name in files if name.endswith(".json"))
+        return total
+
+    def corrupt_count(self) -> int:
+        """Quarantined files currently on disk (a walk)."""
+        total = 0
+        for _, _, files in os.walk(self.root):
+            total += sum(1 for name in files if name.endswith(CORRUPT_SUFFIX))
         return total
 
     def stats(self) -> Dict[str, Any]:
@@ -94,4 +143,6 @@ class ResultStore:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "quarantined": self.quarantined,
+            "corrupt_files": self.corrupt_count(),
         }

@@ -252,6 +252,7 @@ class TestResultStore:
         assert store.stats() == {
             "root": str(tmp_path / "s"),
             "records": 1, "hits": 1, "misses": 1, "writes": 1,
+            "quarantined": 0, "corrupt_files": 0,
         }
 
     def test_corrupt_record_is_a_miss(self, tmp_path):
